@@ -1,0 +1,202 @@
+package wise
+
+// End-to-end integration tests of the five CLI tools: each binary is built
+// once into a shared temp dir and exercised the way a user would chain them
+// (generate -> features -> train -> predict -> bench).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+// buildCLIs compiles every cmd/ binary once per test run.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "wise-cli")
+		if err != nil {
+			cliErr = err
+			return
+		}
+		cliDir = dir
+		for _, tool := range []string{"wise-gen", "wise-features", "wise-train", "wise-predict", "wise-bench"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			cmd.Dir = "."
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cliErr = err
+				t.Logf("building %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenSingleMatrix(t *testing.T) {
+	tmp := t.TempDir()
+	mtx := filepath.Join(tmp, "m.mtx")
+	out := runCLI(t, "wise-gen", "-kind", "rmat", "-class", "MS", "-rows", "512", "-degree", "8", "-out", mtx)
+	if !strings.Contains(out, "512 x 512") {
+		t.Errorf("unexpected output: %s", out)
+	}
+	m, err := ReadMatrixMarket(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 512 {
+		t.Errorf("rows = %d", m.Rows)
+	}
+}
+
+func TestCLIGenKinds(t *testing.T) {
+	tmp := t.TempDir()
+	for _, kind := range []string{"rgg", "banded", "stencil2d", "stencil3d", "fem", "powerlaw", "uniform"} {
+		mtx := filepath.Join(tmp, kind+".mtx")
+		runCLI(t, "wise-gen", "-kind", kind, "-rows", "400", "-degree", "6", "-out", mtx)
+		m, err := ReadMatrixMarket(mtx)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.NNZ() == 0 {
+			t.Errorf("%s: empty matrix", kind)
+		}
+	}
+}
+
+func TestCLIGenCorpus(t *testing.T) {
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "corpus")
+	out := runCLI(t, "wise-gen", "-kind", "corpus", "-small", "-outdir", dir)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("corpus output: %s", out)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 { // 4 sci + 7 classes * 2 scales
+		t.Errorf("corpus dir has %d files", len(files))
+	}
+	// Every file must parse back.
+	m, err := ReadMatrixMarket(filepath.Join(dir, files[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 {
+		t.Error("empty corpus matrix")
+	}
+	// Unknown kinds fail.
+	cmd := exec.Command(filepath.Join(buildCLIs(t), "wise-gen"), "-kind", "nonsense", "-out", filepath.Join(tmp, "x.mtx"))
+	if badOut, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown kind accepted: %s", badOut)
+	}
+}
+
+func TestCLIFeatures(t *testing.T) {
+	tmp := t.TempDir()
+	mtx := filepath.Join(tmp, "m.mtx")
+	runCLI(t, "wise-gen", "-kind", "banded", "-rows", "300", "-degree", "3", "-out", mtx)
+	out := runCLI(t, "wise-features", mtx)
+	for _, want := range []string{"n_rows", "gini_R", "p_T", "potReuseC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("features output missing %s", want)
+		}
+	}
+	if !strings.Contains(out, "n_rows             300") {
+		t.Errorf("n_rows value wrong:\n%s", out)
+	}
+}
+
+func TestCLITrainPredictRoundTrip(t *testing.T) {
+	tmp := t.TempDir()
+	models := filepath.Join(tmp, "models.json")
+
+	// Train on a small corpus: override via seed only; the default corpus is
+	// moderate but acceptable for one integration test. Use fewer folds.
+	out := runCLI(t, "wise-train", "-small", "-out", models, "-folds", "5")
+	if !strings.Contains(out, "mean speedup over MKL baseline") {
+		t.Errorf("train output missing summary:\n%s", out)
+	}
+	if _, err := os.Stat(models); err != nil {
+		t.Fatal(err)
+	}
+
+	mtx := filepath.Join(tmp, "m.mtx")
+	runCLI(t, "wise-gen", "-kind", "rmat", "-class", "HS", "-rows", "2048", "-degree", "16", "-out", mtx)
+	pout := runCLI(t, "wise-predict", "-models", models, "-run", mtx)
+	if !strings.Contains(pout, "selected:") {
+		t.Errorf("predict output missing selection:\n%s", pout)
+	}
+	if !strings.Contains(pout, "max |y - y_ref| = 0") {
+		t.Errorf("predicted method did not verify:\n%s", pout)
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	out := runCLI(t, "wise-bench", "-small", "-exp", "fig4")
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "Sell-c-sigma") {
+		t.Errorf("bench fig4 output unexpected:\n%s", out)
+	}
+}
+
+func TestCLIBenchLabelCache(t *testing.T) {
+	tmp := t.TempDir()
+	cache := filepath.Join(tmp, "labels.json.gz")
+	out1 := runCLI(t, "wise-bench", "-small", "-exp", "fig4", "-save-labels", cache)
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatal(err)
+	}
+	out2 := runCLI(t, "wise-bench", "-exp", "fig4", "-load-labels", cache)
+	// The fig4 table must be identical from fresh labels and from the cache.
+	extract := func(s string) string {
+		i := strings.Index(s, "== fig4")
+		if i < 0 {
+			t.Fatalf("no fig4 table in output:\n%s", s)
+		}
+		s = s[i:]
+		// Drop the timing footer (stderr), which legitimately differs.
+		if j := strings.Index(s, "total:"); j >= 0 {
+			s = s[:j]
+		}
+		return s
+	}
+	if extract(out1) != extract(out2) {
+		t.Errorf("cached labels changed the result:\n%s\nvs\n%s", extract(out1), extract(out2))
+	}
+}
+
+func TestCLIPredictExplain(t *testing.T) {
+	tmp := t.TempDir()
+	models := filepath.Join(tmp, "models.json")
+	runCLI(t, "wise-train", "-small", "-out", models, "-folds", "5")
+	mtx := filepath.Join(tmp, "m.mtx")
+	runCLI(t, "wise-gen", "-kind", "banded", "-rows", "1024", "-degree", "5", "-out", mtx)
+	out := runCLI(t, "wise-predict", "-models", models, "-explain", mtx)
+	if !strings.Contains(out, "decision path") {
+		t.Errorf("explain output missing path:\n%s", out)
+	}
+}

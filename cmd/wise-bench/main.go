@@ -1,0 +1,155 @@
+// wise-bench regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md for the per-experiment index), printing each as an aligned
+// text table and optionally writing them to a results directory.
+//
+//	wise-bench                      # all experiments, default scaled corpus
+//	wise-bench -exp fig13           # one experiment
+//	wise-bench -full -outdir results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wise/internal/experiments"
+	"wise/internal/gen"
+	"wise/internal/perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wise-bench: ")
+	var (
+		exp        = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, ie, table4, importance, ablations")
+		full       = flag.Bool("full", false, "use the full paper-shaped corpus (much slower)")
+		small      = flag.Bool("small", false, "use a small smoke corpus (fast, for CI)")
+		medium     = flag.Bool("medium", false, "use the medium corpus (~500 matrices)")
+		outdir     = flag.String("outdir", "", "also write each table to <outdir>/<id>.txt")
+		workers    = flag.Int("workers", 0, "labeling workers (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "corpus seed")
+		saveLabels = flag.String("save-labels", "", "after labeling, save the labeled corpus to this gzipped JSON file")
+		loadLabels = flag.String("load-labels", "", "skip labeling and reuse a corpus saved with -save-labels")
+	)
+	flag.Parse()
+
+	ccfg := experiments.DefaultContextConfig()
+	if *full {
+		ccfg.Corpus = gen.FullCorpusConfig()
+	}
+	if *medium {
+		ccfg.Corpus = gen.MediumCorpusConfig()
+	}
+	if *small {
+		ccfg = experiments.SmokeContextConfig()
+	}
+	ccfg.Corpus.Seed = *seed
+	ccfg.Workers = *workers
+
+	needsCorpus := *exp != "fig5" && *exp != "fig6"
+	t0 := time.Now()
+	var ctx *experiments.Context
+	switch {
+	case *loadLabels != "":
+		labels, err := perf.LoadLabels(*loadLabels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx = experiments.NewContextFromLabels(labels)
+		fmt.Fprintf(os.Stderr, "loaded %d labeled matrices from %s\n\n", len(ctx.Labels), *loadLabels)
+	case needsCorpus || *exp == "all":
+		fmt.Fprintf(os.Stderr, "labeling corpus (this runs the cache-simulating cost model on 29 methods per matrix)...\n")
+		ctx = experiments.NewContext(ccfg)
+		fmt.Fprintf(os.Stderr, "labeled %d matrices in %v\n\n", len(ctx.Labels), time.Since(t0).Round(time.Second))
+	default:
+		// Sweeps only need the estimator, not the corpus: use a tiny context.
+		ctx = experiments.NewContext(experiments.SmokeContextConfig())
+	}
+	if *saveLabels != "" {
+		if err := perf.SaveLabels(*saveLabels, ctx.Labels); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved labels to %s\n", *saveLabels)
+	}
+
+	sweepCfg := experiments.DefaultSweepConfig()
+	var tables []*experiments.Table
+	switch *exp {
+	case "all":
+		tables = experiments.AllStandard(ctx)
+		tables = append(tables, experiments.Fig5(ctx, sweepCfg), experiments.Fig6(ctx, sweepCfg))
+		tables = append(tables,
+			experiments.AblationFeatureSets(ctx),
+			experiments.AblationClasses(ctx),
+			experiments.AblationTieBreak(ctx),
+			experiments.AblationModelFamily(ctx),
+			experiments.AblationFlatMemory(ctx, smallProbe(*seed)),
+		)
+	case "fig1":
+		tables = append(tables, experiments.Fig1Formats(ctx))
+	case "fig2":
+		tables = append(tables, experiments.Fig2(ctx))
+	case "fig3":
+		tables = append(tables, experiments.Fig3(ctx))
+	case "fig4":
+		tables = append(tables, experiments.Fig4(ctx))
+	case "fig5":
+		tables = append(tables, experiments.Fig5(ctx, sweepCfg))
+	case "fig6":
+		tables = append(tables, experiments.Fig6(ctx, sweepCfg))
+	case "fig7":
+		tables = append(tables, experiments.Fig7(ctx))
+	case "fig10":
+		tables = append(tables, experiments.Fig10(ctx))
+	case "fig11":
+		tables = append(tables, experiments.Fig11(ctx))
+	case "fig12":
+		tables = append(tables, experiments.Fig12(ctx))
+	case "fig13":
+		tables = append(tables, experiments.Fig13(ctx))
+	case "ie", "sec6.4":
+		tables = append(tables, experiments.Sec64(ctx))
+	case "table4":
+		tables = append(tables, experiments.Table4(ctx))
+	case "importance":
+		tables = append(tables, experiments.FeatureImportance(ctx))
+	case "ablations":
+		tables = append(tables,
+			experiments.AblationFeatureSets(ctx),
+			experiments.AblationClasses(ctx),
+			experiments.AblationTieBreak(ctx),
+			experiments.AblationModelFamily(ctx),
+			experiments.AblationFlatMemory(ctx, smallProbe(*seed)),
+		)
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	for _, tab := range tables {
+		fmt.Println(tab.String())
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			name := strings.ReplaceAll(tab.ID, ".", "_") + ".txt"
+			if err := os.WriteFile(filepath.Join(*outdir, name), []byte(tab.String()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(t0).Round(time.Second))
+}
+
+func smallProbe(seed int64) gen.CorpusConfig {
+	return gen.CorpusConfig{
+		Seed:      seed + 100,
+		RowScales: []float64{10, 12, 14},
+		Degrees:   []float64{8, 32},
+		MaxNNZ:    1 << 21,
+		SciCount:  8,
+	}
+}

@@ -1,0 +1,33 @@
+// wise-features prints the WISE feature vector (paper Table 2) of a
+// MatrixMarket file, one "name value" pair per line.
+//
+//	wise-features matrix.mtx
+//	wise-features -k 2048 matrix.mtx   # paper-scale tiling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wise/internal/features"
+	"wise/internal/matrix"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wise-features: ")
+	k := flag.Int("k", features.DefaultConfig().K, "tiling factor K (paper uses 2048)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: wise-features [-k K] matrix.mtx")
+	}
+	m, err := matrix.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := features.Extract(m, features.Config{K: *k})
+	for i, name := range f.Names {
+		fmt.Printf("%-18s %g\n", name, f.Values[i])
+	}
+}

@@ -1,0 +1,113 @@
+// wise-gen generates sparse matrices in MatrixMarket format: single
+// matrices from any generator family, or a whole training corpus.
+//
+// Examples:
+//
+//	wise-gen -kind rmat -class HS -rows 4096 -degree 16 -out hs.mtx
+//	wise-gen -kind rgg -rows 8192 -degree 8 -out rgg.mtx
+//	wise-gen -kind stencil2d -rows 4096 -out stencil.mtx
+//	wise-gen -kind corpus -outdir corpus/          # full default corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"wise/internal/gen"
+	"wise/internal/matrix"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wise-gen: ")
+	var (
+		kind   = flag.String("kind", "rmat", "generator: rmat, rgg, banded, stencil2d, stencil3d, fem, powerlaw, uniform, corpus")
+		class  = flag.String("class", "HS", "RMAT class: HS, MS, LS, LL, ML, HL")
+		rows   = flag.Int("rows", 4096, "number of rows (and columns)")
+		degree = flag.Float64("degree", 16, "average nonzeros per row")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output .mtx file (single matrix; default stdout)")
+		outdir = flag.String("outdir", "corpus", "output directory (corpus mode)")
+		full   = flag.Bool("full", false, "corpus mode: use the full paper-shaped corpus")
+		small  = flag.Bool("small", false, "corpus mode: use a small smoke corpus (fast, for CI)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *kind == "corpus" {
+		cfg := gen.DefaultCorpusConfig()
+		if *full {
+			cfg = gen.FullCorpusConfig()
+		}
+		if *small {
+			cfg = gen.CorpusConfig{
+				RowScales: []float64{8, 9},
+				Degrees:   []float64{4},
+				MaxNNZ:    1 << 20,
+				SciCount:  4,
+			}
+		}
+		cfg.Seed = *seed
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		corpus := gen.Corpus(cfg)
+		for _, l := range corpus {
+			path := filepath.Join(*outdir, l.Name+".mtx")
+			if err := matrix.WriteFile(path, l.M); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d matrices to %s\n", len(corpus), *outdir)
+		return
+	}
+
+	var m *matrix.CSR
+	switch *kind {
+	case "rmat":
+		params, ok := gen.RMATClassParams[gen.Class(*class)]
+		if !ok {
+			log.Fatalf("unknown RMAT class %q", *class)
+		}
+		m = gen.RMATRows(rng, *rows, *degree, params)
+	case "rgg":
+		m = gen.RGG(rng, *rows, *degree)
+	case "banded":
+		w := int(*degree) / 2
+		offsets := make([]int, 0, 2*w+1)
+		for o := -w; o <= w; o++ {
+			offsets = append(offsets, o)
+		}
+		m = gen.Banded(rng, *rows, offsets)
+	case "stencil2d":
+		g := int(math.Sqrt(float64(*rows)))
+		m = gen.Stencil2D(g, g, false)
+	case "stencil3d":
+		g := int(math.Cbrt(float64(*rows)))
+		m = gen.Stencil3D(g, g, g)
+	case "fem":
+		m = gen.FEMLike(rng, *rows, 8, int(*degree)/4)
+	case "powerlaw":
+		m = gen.PowerLawRows(rng, *rows, 2.1, *rows/4)
+	case "uniform":
+		m = gen.Uniform(rng, *rows, *degree)
+	default:
+		log.Fatalf("unknown generator %q", *kind)
+	}
+
+	if *out == "" {
+		if err := matrix.WriteMatrixMarket(os.Stdout, m); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := matrix.WriteFile(*out, m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d x %d, %d nonzeros\n", *out, m.Rows, m.Cols, m.NNZ())
+}

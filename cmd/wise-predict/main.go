@@ -1,0 +1,80 @@
+// wise-predict loads trained models, reads a MatrixMarket matrix, predicts
+// the speedup class of every {method, parameter} pair, prints the selection,
+// and optionally verifies it by running SpMV with the chosen format.
+//
+//	wise-predict -models models.json matrix.mtx
+//	wise-predict -models models.json -run matrix.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wise/internal/core"
+	"wise/internal/features"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/matrix"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wise-predict: ")
+	var (
+		models  = flag.String("models", "models.json", "trained model file from wise-train")
+		run     = flag.Bool("run", false, "run SpMV with the selected method and verify against CSR")
+		explain = flag.Bool("explain", false, "print the decision path of the selected method's model")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: wise-predict [-models file] [-run] matrix.mtx")
+	}
+	w, err := core.Load(*models, machine.Scaled())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := matrix.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matrix: %d x %d, %d nonzeros\n", m.Rows, m.Cols, m.NNZ())
+
+	sel := w.Select(m)
+	fmt.Println("predicted speedup classes (C0 slowest .. C6 fastest):")
+	for i, model := range w.Models {
+		marker := " "
+		if i == sel.Index {
+			marker = "*"
+		}
+		fmt.Printf(" %s C%d  %s\n", marker, sel.Classes[i], model.Method)
+	}
+	fmt.Printf("selected: %s (predicted class C%d)\n", sel.Method, sel.PredictedClass)
+
+	if *explain {
+		feats := features.Extract(m, w.FeatureCfg)
+		tree := w.Models[sel.Index].Tree
+		fmt.Printf("decision path of the %s model:\n", sel.Method)
+		for _, step := range tree.DecisionPath(feats.Values) {
+			name := fmt.Sprintf("feature[%d]", step.Feature)
+			if step.Feature < len(feats.Names) {
+				name = feats.Names[step.Feature]
+			}
+			op := "<="
+			if !step.WentLeft {
+				op = "> "
+			}
+			fmt.Printf("  %-18s = %-12.6g %s %.6g\n", name, step.Value, op, step.Threshold)
+		}
+	}
+
+	if *run {
+		format := kernels.Build(m, sel.Method, machine.Scaled().RowBlock)
+		x := matrix.Ones(m.Cols)
+		y := make([]float64, m.Rows)
+		format.SpMVParallel(y, x, 0)
+		want := make([]float64, m.Rows)
+		m.SpMV(want, x)
+		fmt.Printf("SpMV executed; max |y - y_ref| = %g\n", matrix.MaxAbsDiff(y, want))
+	}
+}

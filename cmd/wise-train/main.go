@@ -1,0 +1,110 @@
+// wise-train generates the training corpus, labels it with the cost model,
+// trains the 29 per-{method, parameter} decision trees, evaluates them with
+// k-fold cross-validation, and saves the models as JSON.
+//
+//	wise-train -out models.json
+//	wise-train -full -folds 10 -out models.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"wise/internal/core"
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/ml"
+	"wise/internal/perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wise-train: ")
+	var (
+		out     = flag.String("out", "models.json", "output model file")
+		full    = flag.Bool("full", false, "use the full paper-shaped corpus (slower)")
+		small   = flag.Bool("small", false, "use a small smoke corpus (fast, for CI)")
+		folds   = flag.Int("folds", 10, "cross-validation folds")
+		seed    = flag.Int64("seed", 1, "corpus and fold seed")
+		depth   = flag.Int("depth", 15, "decision tree max depth D")
+		ccp     = flag.Float64("ccp", 0.005, "minimal cost-complexity pruning alpha")
+		workers = flag.Int("workers", 0, "labeling workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	corpusCfg := gen.DefaultCorpusConfig()
+	if *full {
+		corpusCfg = gen.FullCorpusConfig()
+	}
+	if *small {
+		corpusCfg = gen.CorpusConfig{
+			RowScales: []float64{9, 11, 13},
+			Degrees:   []float64{4, 16},
+			MaxNNZ:    1 << 21,
+			SciCount:  10,
+		}
+	}
+	corpusCfg.Seed = *seed
+	mach := machine.Scaled()
+	treeCfg := ml.TreeConfig{MaxDepth: *depth, MinSamplesLeaf: 1, CCPAlpha: *ccp}
+
+	t0 := time.Now()
+	corpus := gen.Corpus(corpusCfg)
+	fmt.Printf("generated %d matrices in %v\n", len(corpus), time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	labels := perf.LabelCorpus(perf.LabelConfig{
+		Estimator: costmodel.New(mach),
+		Space:     kernels.ModelSpace(mach),
+		Features:  features.DefaultConfig(),
+		Workers:   *workers,
+	}, corpus)
+	fmt.Printf("labeled corpus (29 methods x %d matrices) in %v\n", len(labels), time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	w, err := core.Train(labels, treeCfg, features.DefaultConfig(), mach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d models in %v\n", len(w.Models), time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	res, err := core.Evaluate(labels, treeCfg, *folds, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated (%d-fold CV) in %v\n", *folds, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  mean speedup over MKL baseline: WISE %.2fx, oracle %.2fx, IE %.2fx\n",
+		res.MeanWISESpeedup, res.MeanOracleSpeedup, res.MeanIESpeedup)
+	fmt.Printf("  mean preprocessing: WISE %.2f, IE %.2f baseline iterations\n",
+		res.MeanWISEPrepIters, res.MeanIEPrepIters)
+
+	if err := w.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved models to %s\n", *out)
+
+	// Feature introspection: which Table 2 features carry the signal.
+	names := labels[0].Features.Names
+	mean := make([]float64, len(names))
+	for _, model := range w.Models {
+		for i, v := range model.Tree.FeatureImportance(len(names)) {
+			mean[i] += v / float64(len(w.Models))
+		}
+	}
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return mean[order[a]] > mean[order[b]] })
+	fmt.Println("top features by mean Gini importance:")
+	for _, i := range order[:5] {
+		fmt.Printf("  %-18s %.4f\n", names[i], mean[i])
+	}
+}

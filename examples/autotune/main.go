@@ -1,0 +1,68 @@
+// Autotune comparison: WISE vs the oracle, the MKL-like baseline, and the
+// inspector-executor auto-tuner on a held-out evaluation — the experiment
+// behind the paper's headline numbers (2.4x WISE, 2.5x oracle, 2.11x IE).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wise"
+)
+
+func main() {
+	// A moderate corpus: large enough for the trees to learn the method
+	// crossovers, small enough to run in well under a minute.
+	corpus := wise.GenerateCorpus(wise.CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{9, 10, 11, 12, 13},
+		Degrees:   []float64{4, 8, 16, 32},
+		MaxNNZ:    1 << 21,
+		SciCount:  24,
+	})
+	fmt.Printf("corpus: %d matrices; labeling with the cost model...\n", len(corpus))
+
+	fw, err := wise.Train(corpus, wise.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Out-of-fold evaluation: every matrix is selected by models that never
+	// saw it during training.
+	res, err := fw.Evaluate(10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nmean speedup over the MKL-like baseline (paper values in parens):")
+	fmt.Printf("  WISE    %.2fx  (2.4x)\n", res.MeanWISESpeedup)
+	fmt.Printf("  oracle  %.2fx  (2.5x)\n", res.MeanOracleSpeedup)
+	fmt.Printf("  MKL IE  %.2fx  (2.11x)\n", res.MeanIESpeedup)
+	fmt.Printf("  WISE/IE %.2fx  (1.14x)\n", res.MeanWISESpeedup/res.MeanIESpeedup)
+	fmt.Println("\nmean preprocessing cost in baseline SpMV iterations:")
+	fmt.Printf("  WISE    %.2f  (8.33)\n", res.MeanWISEPrepIters)
+	fmt.Printf("  MKL IE  %.2f  (17.43)\n", res.MeanIEPrepIters)
+	fmt.Printf("  ratio   %.0f%%  (<50%%)\n", 100*res.MeanWISEPrepIters/res.MeanIEPrepIters)
+
+	// Where did WISE leave speedup on the table? Show the worst regressions
+	// versus the oracle.
+	fmt.Println("\nlargest WISE-vs-oracle gaps:")
+	type gap struct {
+		name string
+		w, o float64
+	}
+	var gaps []gap
+	for _, pm := range res.PerMatrix {
+		gaps = append(gaps, gap{pm.Name, pm.WISESpeedup, pm.OracleSpeedup})
+	}
+	for i := 0; i < 5 && i < len(gaps); i++ {
+		worst := i
+		for j := i; j < len(gaps); j++ {
+			if gaps[j].o-gaps[j].w > gaps[worst].o-gaps[worst].w {
+				worst = j
+			}
+		}
+		gaps[i], gaps[worst] = gaps[worst], gaps[i]
+		fmt.Printf("  %-24s WISE %.2fx vs oracle %.2fx\n", gaps[i].name, gaps[i].w, gaps[i].o)
+	}
+}

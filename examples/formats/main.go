@@ -1,0 +1,116 @@
+// Formats renders the worked example of the paper's Figure 1: the 8x8
+// matrix in its initial CSR form and in every vectorized layout (SELLPACK,
+// Sell-c-sigma, Sell-c-R, LAV-1Seg, LAV), showing row orders, chunk
+// boundaries, padding, and — for the CFS methods — the column permutation
+// and the LAV dense/sparse segment split.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"wise/internal/kernels"
+	"wise/internal/matrix"
+)
+
+func main() {
+	m := matrix.Fig1Example()
+	fmt.Println("initial matrix (values 1..17, '.' = zero):")
+	printDense(m)
+
+	methods := []kernels.Method{
+		{Kind: kernels.SELLPACK, C: 2, Sched: kernels.Dyn},
+		{Kind: kernels.SellCSigma, C: 2, Sigma: 4, Sched: kernels.Dyn},
+		{Kind: kernels.SellCR, C: 2, Sched: kernels.Dyn},
+		{Kind: kernels.LAV1Seg, C: 2, Sched: kernels.Dyn},
+		{Kind: kernels.LAV, C: 2, T: 0.7, Sched: kernels.Dyn},
+	}
+	for _, method := range methods {
+		p := kernels.BuildSRVPack(m, method)
+		st := p.Stats()
+		fmt.Printf("\n=== %s ===\n", method)
+		fmt.Printf("segments %d, chunks %d, stored slots %d, padding %d\n",
+			st.Segments, st.Chunks, st.StoredSlots, st.Padding)
+		if p.ColPerm != nil {
+			fmt.Printf("CFS column order (rank -> original column): %v\n", p.ColPerm)
+		}
+		for si := range p.Segments {
+			seg := &p.Segments[si]
+			name := "segment"
+			if len(p.Segments) == 2 {
+				if si == 0 {
+					name = "dense segment"
+				} else {
+					name = "sparse segment"
+				}
+			}
+			fmt.Printf("%s (column ranks [%d, %d)):\n", name, seg.ColLo, seg.ColHi)
+			fmt.Printf("  row_order: %v\n", seg.RowOrder)
+			printSegment(seg, p.C)
+		}
+		verify(m, p)
+	}
+}
+
+// printDense renders the matrix with single-character cells.
+func printDense(m *matrix.CSR) {
+	d := m.ToDense()
+	var b strings.Builder
+	b.WriteString("      ")
+	for j := 0; j < m.Cols; j++ {
+		fmt.Fprintf(&b, "c%-3d", j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < m.Rows; i++ {
+		fmt.Fprintf(&b, "  r%-2d ", i)
+		for j := 0; j < m.Cols; j++ {
+			v := d[i*m.Cols+j]
+			if v == 0 {
+				b.WriteString(".   ")
+			} else {
+				fmt.Fprintf(&b, "%-4.0f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+}
+
+// printSegment shows each chunk's packed lanes; '*' marks padding slots.
+func printSegment(seg *kernels.Segment, c int) {
+	for k := 0; k < seg.Chunks(); k++ {
+		lo, hi := seg.ChunkOff[k], seg.ChunkOff[k+1]
+		if lo == hi {
+			continue
+		}
+		fmt.Printf("  chunk %d (width %d):\n", k, hi-lo)
+		base := k * c
+		lanes := len(seg.RowOrder) - base
+		if lanes > c {
+			lanes = c
+		}
+		for l := 0; l < lanes; l++ {
+			fmt.Printf("    lane %d (row %d): ", l, seg.RowOrder[base+l])
+			for pos := lo; pos < hi; pos++ {
+				idx := pos*int64(c) + int64(l)
+				v := seg.Vals[idx]
+				if v == 0 {
+					fmt.Print("*    ")
+				} else {
+					fmt.Printf("%-2.0f@c%-2d", v, seg.ColIdx[idx])
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// verify checks the pack against the reference kernel.
+func verify(m *matrix.CSR, p *kernels.SRVPack) {
+	x := matrix.Iota(m.Cols)
+	want := make([]float64, m.Rows)
+	m.SpMV(want, x)
+	got := make([]float64, m.Rows)
+	p.SpMV(got, x)
+	fmt.Printf("SpMV check vs reference: max abs diff = %g\n", matrix.MaxAbsDiff(want, got))
+}

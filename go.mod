@@ -1,0 +1,3 @@
+module wise
+
+go 1.22

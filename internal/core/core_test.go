@@ -1,0 +1,232 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/matrix"
+	"wise/internal/ml"
+	"wise/internal/perf"
+)
+
+// testLabels builds a small labeled corpus shared across tests.
+func testLabels(t testing.TB) []perf.MatrixLabels {
+	t.Helper()
+	corpus := gen.Corpus(gen.CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{9, 11, 13},
+		Degrees:   []float64{4, 16},
+		MaxNNZ:    1 << 21,
+		SciCount:  8,
+	})
+	cfg := perf.LabelConfig{
+		Estimator: costmodel.New(machine.Scaled()),
+		Space:     kernels.ModelSpace(machine.Scaled()),
+		Features:  features.DefaultConfig(),
+		Workers:   0,
+	}
+	return perf.LabelCorpus(cfg, corpus)
+}
+
+var labelCache []perf.MatrixLabels
+
+func getLabels(t testing.TB) []perf.MatrixLabels {
+	if labelCache == nil {
+		labelCache = testLabels(t)
+	}
+	return labelCache
+}
+
+func TestTrainProducesOneModelPerMethod(t *testing.T) {
+	labels := getLabels(t)
+	w, err := Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Models) != 29 {
+		t.Fatalf("%d models, want 29", len(w.Models))
+	}
+	for _, m := range w.Models {
+		if m.Tree == nil {
+			t.Fatalf("%s: nil tree", m.Method)
+		}
+	}
+}
+
+func TestTrainEmptyCorpusFails(t *testing.T) {
+	if _, err := Train(nil, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSelectFromClassesHeuristic(t *testing.T) {
+	space := []kernels.Method{
+		{Kind: kernels.CSR, Sched: kernels.Dyn},
+		{Kind: kernels.SELLPACK, C: 8, Sched: kernels.Dyn},
+		{Kind: kernels.LAV, C: 8, T: 0.7, Sched: kernels.Dyn},
+	}
+	// Clear winner.
+	if idx := SelectFromClasses(space, []int{1, 4, 2}); idx != 1 {
+		t.Errorf("picked %d, want 1", idx)
+	}
+	// Tie: cheaper preprocessing wins (CSR over LAV).
+	if idx := SelectFromClasses(space, []int{3, 1, 3}); idx != 0 {
+		t.Errorf("tie picked %d, want 0 (CSR)", idx)
+	}
+	// Tie between SELLPACK and LAV: SELLPACK cheaper.
+	if idx := SelectFromClasses(space, []int{0, 5, 5}); idx != 1 {
+		t.Errorf("tie picked %d, want 1 (SELLPACK)", idx)
+	}
+}
+
+func TestSelectFromClassesParameterTieBreak(t *testing.T) {
+	space := []kernels.Method{
+		{Kind: kernels.LAV, C: 8, T: 0.9, Sched: kernels.Dyn},
+		{Kind: kernels.LAV, C: 8, T: 0.7, Sched: kernels.Dyn},
+		{Kind: kernels.LAV, C: 8, T: 0.8, Sched: kernels.Dyn},
+	}
+	// All tied: smallest T wins (paper: "the order is T = 70%, 80%, 90%").
+	if idx := SelectFromClasses(space, []int{4, 4, 4}); idx != 1 {
+		t.Errorf("picked %d, want 1 (T=0.7)", idx)
+	}
+}
+
+func TestPredictAndSelectEndToEnd(t *testing.T) {
+	labels := getLabels(t)
+	w, err := Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.Fig1Example()
+	sel := w.Select(m)
+	if sel.Index < 0 || sel.Index >= len(w.Models) {
+		t.Fatalf("bad selection index %d", sel.Index)
+	}
+	if sel.Method != w.Models[sel.Index].Method {
+		t.Error("selection method/index mismatch")
+	}
+	if len(sel.Classes) != 29 {
+		t.Error("per-method classes missing")
+	}
+	for _, c := range sel.Classes {
+		if c < 0 || c >= perf.NumClasses {
+			t.Fatalf("class %d out of range", c)
+		}
+	}
+}
+
+func TestMultiplyMatchesReference(t *testing.T) {
+	labels := getLabels(t)
+	w, err := Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*matrix.CSR{
+		matrix.Fig1Example(),
+		gen.Stencil2D(16, 16, false),
+	} {
+		x := matrix.Iota(m.Cols)
+		want := make([]float64, m.Rows)
+		m.SpMV(want, x)
+		got := make([]float64, m.Rows)
+		w.Multiply(got, x, m)
+		if matrix.MaxAbsDiff(want, got) > 1e-9 {
+			t.Errorf("WISE Multiply wrong on %v", m)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	labels := getLabels(t)
+	w, err := Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path, machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Models) != len(w.Models) {
+		t.Fatal("model count changed")
+	}
+	f := features.Extract(matrix.Fig1Example(), features.DefaultConfig())
+	a, b := w.PredictClasses(f), back.PredictClasses(f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("model %d predicts differently after reload", i)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json"), machine.Scaled()); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	labels := getLabels(t)
+	res, err := Evaluate(labels, ml.DefaultTreeConfig(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerMatrix) != len(labels) {
+		t.Fatal("per-matrix results missing")
+	}
+	// Structural relations the paper reports:
+	// oracle >= WISE (oracle picks the true best).
+	if res.MeanOracleSpeedup < res.MeanWISESpeedup-1e-9 {
+		t.Errorf("oracle %v < WISE %v", res.MeanOracleSpeedup, res.MeanWISESpeedup)
+	}
+	// WISE must recover most of the oracle's speedup (paper: 2.4 vs 2.5).
+	if res.MeanWISESpeedup < 0.75*res.MeanOracleSpeedup {
+		t.Errorf("WISE %v recovers < 75%% of oracle %v", res.MeanWISESpeedup, res.MeanOracleSpeedup)
+	}
+	// Speedup over the baseline must exist at all.
+	if res.MeanWISESpeedup < 1.05 {
+		t.Errorf("mean WISE speedup %v barely above baseline", res.MeanWISESpeedup)
+	}
+	// WISE preprocessing < IE preprocessing (paper: < 50%).
+	if res.MeanWISEPrepIters >= res.MeanIEPrepIters {
+		t.Errorf("WISE prep %v >= IE prep %v iterations", res.MeanWISEPrepIters, res.MeanIEPrepIters)
+	}
+	for _, pm := range res.PerMatrix {
+		if pm.OracleSpeedup+1e-9 < pm.WISESpeedup {
+			t.Fatalf("%s: WISE %v beat oracle %v", pm.Name, pm.WISESpeedup, pm.OracleSpeedup)
+		}
+	}
+}
+
+func TestEvaluateTooFewMatrices(t *testing.T) {
+	if _, err := Evaluate(nil, ml.DefaultTreeConfig(), 5, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConfusionForMethod(t *testing.T) {
+	labels := getLabels(t)
+	// Index of SELLPACK c=8 StCont in the model space.
+	space := labels[0].Methods
+	idx := -1
+	for i, m := range space {
+		if m.Kind == kernels.SELLPACK && m.C == 8 && m.Sched == kernels.StCont {
+			idx = i
+		}
+	}
+	if idx == -1 {
+		t.Fatal("method not found")
+	}
+	cm, err := ConfusionForMethod(labels, idx, ml.DefaultTreeConfig(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total() != int64(len(labels)) {
+		t.Errorf("confusion total %d != corpus size %d", cm.Total(), len(labels))
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"wise/internal/gen"
+	"wise/internal/ml"
+	"wise/internal/perf"
+	"wise/internal/stats"
+)
+
+// MatrixEval is the end-to-end outcome of WISE on one matrix, evaluated
+// out-of-fold (the matrix's models never saw it during training).
+type MatrixEval struct {
+	Name  string
+	Class gen.Class
+
+	ChosenIdx int // method WISE selected
+	OracleIdx int // truly fastest method
+
+	WISESpeedup   float64 // MKL cycles / chosen method cycles
+	OracleSpeedup float64 // MKL cycles / oracle method cycles
+	IESpeedup     float64 // MKL cycles / inspector-executor choice cycles
+
+	WISEPrepIters float64 // WISE preprocessing in MKL SpMV iterations
+	IEPrepIters   float64 // IE preprocessing in MKL SpMV iterations
+}
+
+// EvalResult aggregates an end-to-end evaluation over a corpus.
+type EvalResult struct {
+	PerMatrix []MatrixEval
+
+	MeanWISESpeedup   float64
+	MeanOracleSpeedup float64
+	MeanIESpeedup     float64
+	MeanWISEPrepIters float64
+	MeanIEPrepIters   float64
+}
+
+// Evaluate reproduces the paper's end-to-end protocol (Sections 6.3-6.4):
+// for every method, train and predict speedup classes with k-fold
+// cross-validation; per matrix, apply the selection heuristic to the
+// out-of-fold predictions; report speedups over the MKL-like baseline for
+// WISE, the oracle, and the inspector-executor, plus preprocessing overheads
+// in baseline-iteration units.
+func Evaluate(labels []perf.MatrixLabels, treeCfg ml.TreeConfig, k int, seed int64) (EvalResult, error) {
+	return EvaluateWith(labels, func(d ml.Dataset) ([]int, error) {
+		return ml.CrossValPredict(d, treeCfg, k, seed)
+	})
+}
+
+// EvaluateForest is Evaluate with a random-forest predictor per method — the
+// model-family ablation (the paper uses single trees).
+func EvaluateForest(labels []perf.MatrixLabels, cfg ml.ForestConfig, k int, seed int64) (EvalResult, error) {
+	return EvaluateWith(labels, func(d ml.Dataset) ([]int, error) {
+		return ml.CrossValPredictForest(d, cfg, k, seed)
+	})
+}
+
+// OutOfFoldPredictor produces out-of-fold class predictions for a dataset.
+type OutOfFoldPredictor func(d ml.Dataset) ([]int, error)
+
+// EvaluateWith runs the end-to-end protocol with any out-of-fold predictor.
+func EvaluateWith(labels []perf.MatrixLabels, predict OutOfFoldPredictor) (EvalResult, error) {
+	var res EvalResult
+	if len(labels) < 2 {
+		return res, fmt.Errorf("core: need >= 2 labeled matrices, have %d", len(labels))
+	}
+	space := labels[0].Methods
+	X := make([][]float64, len(labels))
+	for i, l := range labels {
+		X[i] = l.Features.Values
+	}
+
+	// Out-of-fold class predictions, per method.
+	predicted := make([][]int, len(space)) // [method][matrix]
+	for mi := range space {
+		y := make([]int, len(labels))
+		for i, l := range labels {
+			y[i] = l.Classes[mi]
+		}
+		preds, err := predict(ml.Dataset{X: X, Y: y, NumClasses: perf.NumClasses})
+		if err != nil {
+			return res, fmt.Errorf("core: cross-validating %s: %w", space[mi], err)
+		}
+		predicted[mi] = preds
+	}
+
+	res.PerMatrix = make([]MatrixEval, len(labels))
+	var wise, oracle, ie, wisePrep, iePrep []float64
+	for i, l := range labels {
+		classes := make([]int, len(space))
+		for mi := range space {
+			classes[mi] = predicted[mi][i]
+		}
+		chosen := SelectFromClasses(space, classes)
+		oracleIdx := l.OracleIndex()
+		me := MatrixEval{
+			Name:          l.Name,
+			Class:         l.Class,
+			ChosenIdx:     chosen,
+			OracleIdx:     oracleIdx,
+			WISESpeedup:   safeDiv(l.MKLCycles, l.Cycles[chosen]),
+			OracleSpeedup: safeDiv(l.MKLCycles, l.Cycles[oracleIdx]),
+			IESpeedup:     safeDiv(l.MKLCycles, l.IECycles),
+			WISEPrepIters: safeDiv(l.FeatureCycles+l.PrepCost[chosen], l.MKLCycles),
+			IEPrepIters:   safeDiv(l.IEPrepCycles, l.MKLCycles),
+		}
+		res.PerMatrix[i] = me
+		wise = append(wise, me.WISESpeedup)
+		oracle = append(oracle, me.OracleSpeedup)
+		ie = append(ie, me.IESpeedup)
+		wisePrep = append(wisePrep, me.WISEPrepIters)
+		iePrep = append(iePrep, me.IEPrepIters)
+	}
+	res.MeanWISESpeedup = stats.Mean(wise)
+	res.MeanOracleSpeedup = stats.Mean(oracle)
+	res.MeanIESpeedup = stats.Mean(ie)
+	res.MeanWISEPrepIters = stats.Mean(wisePrep)
+	res.MeanIEPrepIters = stats.Mean(iePrep)
+	return res, nil
+}
+
+// ConfusionForMethod computes the k-fold confusion matrix of one method's
+// performance model (the paper's Figure 10 panels).
+func ConfusionForMethod(labels []perf.MatrixLabels, methodIdx int, treeCfg ml.TreeConfig, k int, seed int64) (*ml.ConfusionMatrix, error) {
+	X := make([][]float64, len(labels))
+	y := make([]int, len(labels))
+	for i, l := range labels {
+		X[i] = l.Features.Values
+		y[i] = l.Classes[methodIdx]
+	}
+	return ml.CrossValidate(ml.Dataset{X: X, Y: y, NumClasses: perf.NumClasses}, treeCfg, k, seed)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

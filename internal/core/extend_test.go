@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/matrix"
+	"wise/internal/ml"
+	"wise/internal/perf"
+)
+
+func TestExtendAddsModelWithoutChangingExisting(t *testing.T) {
+	labels := getLabels(t)
+	w, err := Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot existing predictions.
+	f := features.Extract(matrix.Fig1Example(), features.DefaultConfig())
+	before := w.PredictClasses(f)
+
+	// Extend labels with the SegCSR method and add its model.
+	corpus := gen.Corpus(gen.CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{9, 11, 13},
+		Degrees:   []float64{4, 16},
+		MaxNNZ:    1 << 21,
+		SciCount:  8,
+	})
+	method := kernels.ExtensionMethods(machine.Scaled().LLCDoubles())[0]
+	cfg := perf.LabelConfig{
+		Estimator: costmodel.New(machine.Scaled()),
+		Space:     kernels.ModelSpace(machine.Scaled()),
+		Features:  features.DefaultConfig(),
+	}
+	extended := perf.ExtendLabels(cfg, corpus, labels, method)
+	if len(extended[0].Methods) != 30 {
+		t.Fatalf("extended method count = %d, want 30", len(extended[0].Methods))
+	}
+	// Original labels untouched.
+	if len(labels[0].Methods) != 29 {
+		t.Fatal("ExtendLabels mutated its input")
+	}
+
+	if err := w.Extend(extended, method, ml.DefaultTreeConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Models) != 30 {
+		t.Fatalf("model count = %d, want 30", len(w.Models))
+	}
+
+	// Existing models must predict exactly as before (Section 7 claim).
+	after := w.PredictClasses(f)
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("existing model %d changed prediction after extension", i)
+		}
+	}
+	if len(after) != 30 {
+		t.Error("new model not consulted")
+	}
+
+	// Selection still works end to end and may now pick the new method.
+	sel := w.Select(matrix.Fig1Example())
+	if err := sel.Method.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-extension of the same method is rejected.
+	if err := w.Extend(extended, method, ml.DefaultTreeConfig()); err == nil {
+		t.Error("duplicate extension accepted")
+	}
+	// Unknown method rejected.
+	if err := w.Extend(labels, kernels.Method{Kind: kernels.SegCSRKind, C: 999, Sched: kernels.Dyn}, ml.DefaultTreeConfig()); err == nil {
+		t.Error("extension without labels accepted")
+	}
+	// Empty corpus rejected.
+	if err := w.Extend(nil, method, ml.DefaultTreeConfig()); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestExtendedModelSaveLoad(t *testing.T) {
+	labels := getLabels(t)
+	w, err := Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := gen.Corpus(gen.CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{9, 11, 13},
+		Degrees:   []float64{4, 16},
+		MaxNNZ:    1 << 21,
+		SciCount:  8,
+	})
+	method := kernels.ExtensionMethods(machine.Scaled().LLCDoubles())[1]
+	cfg := perf.LabelConfig{
+		Estimator: costmodel.New(machine.Scaled()),
+		Space:     kernels.ModelSpace(machine.Scaled()),
+		Features:  features.DefaultConfig(),
+	}
+	extended := perf.ExtendLabels(cfg, corpus, labels, method)
+	if err := w.Extend(extended, method, ml.DefaultTreeConfig()); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ext.json"
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path, machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Models) != 30 {
+		t.Fatalf("loaded %d models", len(back.Models))
+	}
+	if back.Models[29].Method != method {
+		t.Error("extension method lost in round trip")
+	}
+}

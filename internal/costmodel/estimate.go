@@ -1,0 +1,212 @@
+package costmodel
+
+import (
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/matrix"
+)
+
+// Virtual address-space bases for the cache simulator. The x vector and the
+// CFS-gathered x~ live in disjoint regions so their lines never alias.
+const (
+	xBase  = int64(0)
+	xgBase = int64(1) << 40
+)
+
+// Estimator computes deterministic execution-time estimates (in cycles of
+// the modelled machine) for SpMV methods, format conversions, and feature
+// extraction.
+type Estimator struct {
+	Mach    machine.Machine
+	Threads int // simulated thread count; 0 means Mach.Cores
+
+	// FlatMemory disables the cache hierarchy: every x access costs the L2
+	// hit latency regardless of locality. Used by the ablation benchmarks to
+	// quantify how much the locality model matters.
+	FlatMemory bool
+}
+
+// New returns an Estimator for the machine with its full core count.
+func New(mach machine.Machine) *Estimator {
+	return &Estimator{Mach: mach}
+}
+
+func (e *Estimator) threads() int {
+	if e.Threads > 0 {
+		return e.Threads
+	}
+	return e.Mach.Cores
+}
+
+func (e *Estimator) xAccess(cs *CacheSim, addr int64) float64 {
+	if e.FlatMemory {
+		return e.Mach.L2.HitCycles
+	}
+	return cs.Access(addr)
+}
+
+// MethodCycles estimates one parallel SpMV execution of the method on the
+// matrix, building the format internally.
+func (e *Estimator) MethodCycles(m *matrix.CSR, method kernels.Method) float64 {
+	switch method.Kind {
+	case kernels.CSR:
+		return e.CSRCycles(m, method.Sched)
+	case kernels.SegCSRKind:
+		return e.SegCSRCycles(kernels.BuildSegCSR(m, method.C, method.Sched, e.Mach.RowBlock))
+	default:
+		return e.PackCycles(kernels.BuildSRVPack(m, method))
+	}
+}
+
+// SegCSRCycles estimates the cache-blocked CSR extension method: column
+// segments execute sequentially; within a segment, row blocks are the
+// scheduling units. Every row-pointer stream is re-read per segment — the
+// format's inherent overhead, which the model charges faithfully.
+func (e *Estimator) SegCSRCycles(f *kernels.SegCSR) float64 {
+	mach := e.Mach
+	cs := NewCacheSim(mach)
+	invBPC := 1 / mach.StreamBytesPerCycle
+	threads := e.threads()
+	k := f.RowBlock
+	nBlocks := (f.Rows + k - 1) / k
+	var total float64
+	for si := range f.Segs {
+		seg := &f.Segs[si]
+		blocks := make([]float64, nBlocks)
+		for i := 0; i < f.Rows; i++ {
+			lo, hi := seg.RowPtr[i], seg.RowPtr[i+1]
+			nnz := float64(hi - lo)
+			cycles := (8 + nnz*12 + 8) * invBPC
+			cycles += nnz * mach.ScalarOpCycles
+			for p := lo; p < hi; p++ {
+				cycles += e.xAccess(cs, xBase+int64(seg.ColIdx[p])*8)
+			}
+			blocks[i/k] += cycles
+		}
+		total += scheduleTime(blocks, threads, f.Sched, mach.DynChunkOverhead)
+	}
+	return total
+}
+
+// CSRCycles estimates a parallel CSR SpMV under the scheduling policy.
+func (e *Estimator) CSRCycles(m *matrix.CSR, sched kernels.Sched) float64 {
+	mach := e.Mach
+	cs := NewCacheSim(mach)
+	perRow := make([]float64, m.Rows)
+	invBPC := 1 / mach.StreamBytesPerCycle
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		nnz := float64(len(cols))
+		cycles := (8 + nnz*12 + 8) * invBPC // row ptr + (val,colid) stream + y store
+		cycles += nnz * mach.ScalarOpCycles // scalar FMA, mostly hidden under memory
+		for _, c := range cols {
+			cycles += e.xAccess(cs, xBase+int64(c)*8)
+		}
+		perRow[i] = cycles
+	}
+	threads := e.threads()
+	if sched == kernels.StCont {
+		return scheduleTime(perRow, threads, kernels.StCont, 0)
+	}
+	// Aggregate rows into K-row blocks for Dyn/St units.
+	k := mach.RowBlock
+	nBlocks := (m.Rows + k - 1) / k
+	blocks := make([]float64, nBlocks)
+	for i, c := range perRow {
+		blocks[i/k] += c
+	}
+	return scheduleTime(blocks, threads, sched, mach.DynChunkOverhead)
+}
+
+// PackCycles estimates a parallel SRVPack SpMV (any vectorized method).
+// Segments execute back to back, as in the kernel; the CFS gather of x~ is
+// charged once per SpMV and parallelizes across threads.
+func (e *Estimator) PackCycles(p *kernels.SRVPack) float64 {
+	mach := e.Mach
+	cs := NewCacheSim(mach)
+	invBPC := 1 / mach.StreamBytesPerCycle
+	threads := e.threads()
+	var total float64
+
+	if p.ColPerm != nil {
+		// x~[rank] = x[perm[rank]]: random reads of x, streaming writes of
+		// x~, streaming reads of the permutation array.
+		var gather float64
+		for _, old := range p.ColPerm {
+			gather += e.xAccess(cs, xBase+int64(old)*8)
+			gather += (8 + 4) * invBPC
+		}
+		total += gather / float64(threads)
+	}
+
+	vecPositions := float64((p.C + mach.VectorWidth - 1) / mach.VectorWidth)
+	for si := range p.Segments {
+		seg := &p.Segments[si]
+		unit := make([]float64, seg.Chunks())
+		for k := range unit {
+			lo, hi := seg.ChunkOff[k], seg.ChunkOff[k+1]
+			w := float64(hi - lo)
+			base := k * p.C
+			lanes := len(seg.RowOrder) - base
+			if lanes > p.C {
+				lanes = p.C
+			}
+			cycles := w * vecPositions * mach.VecOpCycles
+			cycles += (w*float64(p.C)*12 + float64(lanes)*4 + 16 + float64(lanes)*8) * invBPC
+			// x accesses in kernel order: lane outer, position inner.
+			for l := 0; l < lanes; l++ {
+				for pos := lo; pos < hi; pos++ {
+					col := seg.ColIdx[pos*int64(p.C)+int64(l)]
+					cycles += e.xAccess(cs, xgBase+int64(col)*8)
+				}
+			}
+			unit[k] = cycles
+		}
+		total += scheduleTime(unit, threads, p.Method.Sched, mach.DynChunkOverhead)
+	}
+	return total
+}
+
+// BestCSR returns the fastest CSR scheduling variant and its cycles — the
+// paper's normalization baseline.
+func (e *Estimator) BestCSR(m *matrix.CSR) (kernels.Method, float64) {
+	best := kernels.Method{Kind: kernels.CSR, Sched: kernels.Dyn}
+	bestCycles := e.CSRCycles(m, kernels.Dyn)
+	for _, sched := range []kernels.Sched{kernels.St, kernels.StCont} {
+		if c := e.CSRCycles(m, sched); c < bestCycles {
+			bestCycles = c
+			best = kernels.Method{Kind: kernels.CSR, Sched: sched}
+		}
+	}
+	return best, bestCycles
+}
+
+// Preprocessing cost weights (cycles per operation). Element moves pay a
+// read+write round trip through the memory system; comparisons and scans are
+// compute. parallelFraction models that format conversion and feature
+// passes parallelize imperfectly (sorts serialize).
+const (
+	cyclesPerMove       = 2.0
+	cyclesPerComparison = 0.5
+	cyclesPerScan       = 1.0
+	parallelFraction    = 0.85
+)
+
+func (e *Estimator) opsCycles(ops kernels.BuildOps) float64 {
+	serial := float64(ops.ElementsMoved)*cyclesPerMove +
+		ops.Comparisons*cyclesPerComparison +
+		float64(ops.ScanOps)*cyclesPerScan
+	p := float64(e.threads())
+	// Amdahl: a parallelFraction of the work spreads over p threads.
+	return serial * ((1 - parallelFraction) + parallelFraction/p)
+}
+
+// PreprocessCycles estimates the format-conversion time of a method.
+func (e *Estimator) PreprocessCycles(rows, cols int, nnz int64, method kernels.Method) float64 {
+	return e.opsCycles(kernels.EstimateBuildOps(rows, cols, nnz, method))
+}
+
+// FeatureExtractionCycles estimates WISE's feature pass on a matrix.
+func (e *Estimator) FeatureExtractionCycles(rows, cols int, nnz int64, tiles int) float64 {
+	return e.opsCycles(kernels.FeatureExtractionOps(rows, cols, nnz, tiles))
+}

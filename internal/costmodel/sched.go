@@ -1,0 +1,64 @@
+package costmodel
+
+import "wise/internal/kernels"
+
+// scheduleTime resolves parallel execution time from per-unit costs: it
+// assigns units to threads under the scheduling policy and returns the
+// busiest thread's cycles.
+//
+//   - StCont: contiguous equal-count unit spans per thread (the paper's
+//     "divide the rows by the number of threads").
+//   - St: unit u goes to thread u mod P (round-robin).
+//   - Dyn: units are claimed in order by whichever thread frees up first —
+//     modelled by greedy assignment to the least-loaded thread — plus a
+//     per-unit claim overhead.
+func scheduleTime(unitCycles []float64, threads int, sched kernels.Sched, dynOverhead float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	n := len(unitCycles)
+	if n == 0 {
+		return 0
+	}
+	if threads == 1 {
+		var sum float64
+		for _, c := range unitCycles {
+			sum += c
+		}
+		if sched == kernels.Dyn {
+			sum += dynOverhead * float64(n)
+		}
+		return sum
+	}
+	load := make([]float64, threads)
+	switch sched {
+	case kernels.StCont:
+		for w := 0; w < threads; w++ {
+			lo, hi := w*n/threads, (w+1)*n/threads
+			for u := lo; u < hi; u++ {
+				load[w] += unitCycles[u]
+			}
+		}
+	case kernels.St:
+		for u, c := range unitCycles {
+			load[u%threads] += c
+		}
+	case kernels.Dyn:
+		for _, c := range unitCycles {
+			best := 0
+			for w := 1; w < threads; w++ {
+				if load[w] < load[best] {
+					best = w
+				}
+			}
+			load[best] += c + dynOverhead
+		}
+	}
+	var max float64
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"wise/internal/core"
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/ml"
+	"wise/internal/perf"
+)
+
+// AblationFeatureSets quantifies the paper's core claim that size features
+// alone are insufficient (Section 1: simple analytical models "often fail"):
+// it retrains WISE with size-only, size+skew, and full feature sets and
+// compares the end-to-end mean speedup.
+func AblationFeatureSets(ctx *Context) *Table {
+	t := &Table{
+		ID:     "ablation-features",
+		Title:  "Feature-set ablation: mean WISE speedup over MKL",
+		Header: []string{"feature set", "features", "mean speedup", "% of oracle"},
+	}
+	sets := []struct {
+		name string
+		keep func(name string) bool
+	}{
+		{"size only", func(n string) bool {
+			return n == "n_rows" || n == "n_cols" || n == "nnz"
+		}},
+		{"size+skew", func(n string) bool {
+			return n == "n_rows" || n == "n_cols" || n == "nnz" ||
+				strings.HasSuffix(n, "_R") || strings.HasSuffix(n, "_C")
+		}},
+		{"full (size+skew+locality)", func(string) bool { return true }},
+	}
+	var oracle float64
+	for _, set := range sets {
+		sub := filterFeatures(ctx.Labels, set.keep)
+		res, err := core.Evaluate(sub, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+		if err != nil {
+			t.Note("ERROR %s: %v", set.name, err)
+			continue
+		}
+		oracle = res.MeanOracleSpeedup
+		t.AddRow(set.name,
+			fmt.Sprintf("%d", len(sub[0].Features.Names)),
+			fmt.Sprintf("%.3f", res.MeanWISESpeedup),
+			fmt.Sprintf("%.1f%%", 100*res.MeanWISESpeedup/res.MeanOracleSpeedup))
+	}
+	t.Note("oracle mean speedup: %.3f; the locality features must close part of the size-only gap", oracle)
+	return t
+}
+
+// filterFeatures projects every label's feature vector onto the kept names.
+func filterFeatures(labels []perf.MatrixLabels, keep func(string) bool) []perf.MatrixLabels {
+	out := make([]perf.MatrixLabels, len(labels))
+	copy(out, labels)
+	if len(labels) == 0 {
+		return out
+	}
+	var idx []int
+	var names []string
+	for i, n := range labels[0].Features.Names {
+		if keep(n) {
+			idx = append(idx, i)
+			names = append(names, n)
+		}
+	}
+	for li := range out {
+		vals := make([]float64, len(idx))
+		for k, i := range idx {
+			vals[k] = labels[li].Features.Values[i]
+		}
+		out[li].Features = features.Features{Names: names, Values: vals}
+	}
+	return out
+}
+
+// AblationFlatMemory relabels a small probe corpus with the cache model
+// disabled and reports how many label classes change — measuring how much
+// of the ground truth the locality model carries.
+func AblationFlatMemory(ctx *Context, corpusCfg gen.CorpusConfig) *Table {
+	t := &Table{
+		ID:     "ablation-flatmem",
+		Title:  "Cache-model ablation: label changes with a flat memory model",
+		Header: []string{"corpus", "labels", "changed", "% changed"},
+	}
+	corpus := gen.Corpus(corpusCfg)
+	full := perf.LabelCorpus(perf.LabelConfig{
+		Estimator: costmodel.New(ctx.Mach),
+		Space:     ctx.Space,
+		Features:  features.DefaultConfig(),
+	}, corpus)
+	flatEst := costmodel.New(ctx.Mach)
+	flatEst.FlatMemory = true
+	flat := perf.LabelCorpus(perf.LabelConfig{
+		Estimator: flatEst,
+		Space:     ctx.Space,
+		Features:  features.DefaultConfig(),
+	}, corpus)
+	total, changed := 0, 0
+	oracleChanged := 0
+	for i := range full {
+		for j := range full[i].Classes {
+			total++
+			if full[i].Classes[j] != flat[i].Classes[j] {
+				changed++
+			}
+		}
+		if full[i].OracleIndex() != flat[i].OracleIndex() {
+			oracleChanged++
+		}
+	}
+	t.AddRow("probe", fmt.Sprintf("%d", total), fmt.Sprintf("%d", changed),
+		fmt.Sprintf("%.1f%%", 100*float64(changed)/float64(total)))
+	t.Note("oracle method changes on %d of %d matrices without the cache model", oracleChanged, len(full))
+	return t
+}
+
+// AblationClasses compares the paper's 7 speedup classes against a coarse
+// 3-class variant (slowdown / parity / speedup) to justify the granularity.
+func AblationClasses(ctx *Context) *Table {
+	t := &Table{
+		ID:     "ablation-classes",
+		Title:  "Class-granularity ablation: mean WISE speedup over MKL",
+		Header: []string{"classes", "mean speedup", "% of oracle"},
+	}
+	// 7-class baseline.
+	res7, err := core.Evaluate(ctx.Labels, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	t.AddRow("7 (paper)", fmt.Sprintf("%.3f", res7.MeanWISESpeedup),
+		fmt.Sprintf("%.1f%%", 100*res7.MeanWISESpeedup/res7.MeanOracleSpeedup))
+
+	// 3-class variant: collapse C0 -> 0, C1 -> 1, C2..C6 -> 2.
+	coarse := make([]perf.MatrixLabels, len(ctx.Labels))
+	copy(coarse, ctx.Labels)
+	for i := range coarse {
+		classes := make([]int, len(coarse[i].Classes))
+		for j, c := range coarse[i].Classes {
+			switch {
+			case c <= 0:
+				classes[j] = 0
+			case c == 1:
+				classes[j] = 1
+			default:
+				classes[j] = 2
+			}
+		}
+		coarse[i].Classes = classes
+	}
+	res3, err := core.Evaluate(coarse, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	t.AddRow("3 (coarse)", fmt.Sprintf("%.3f", res3.MeanWISESpeedup),
+		fmt.Sprintf("%.1f%%", 100*res3.MeanWISESpeedup/res3.MeanOracleSpeedup))
+	t.Note("coarse classes hide the magnitude information Section 1 argues for; expect the 7-class setup to match or beat it")
+	return t
+}
+
+// AblationTieBreak compares the paper's preprocessing-aware tie-breaking
+// (Section 4.4) against naive first-index tie-breaking, reporting mean
+// preprocessing overhead of the selections.
+func AblationTieBreak(ctx *Context) *Table {
+	t := &Table{
+		ID:     "ablation-tiebreak",
+		Title:  "Tie-break ablation: preprocessing cost of selected methods",
+		Header: []string{"policy", "mean speedup", "mean prep iters"},
+	}
+	res, err := core.Evaluate(ctx.Labels, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	t.AddRow("prep-aware (paper)", fmt.Sprintf("%.3f", res.MeanWISESpeedup),
+		fmt.Sprintf("%.2f", res.MeanWISEPrepIters))
+
+	// Naive: among max-class methods pick the LAST in space order (most
+	// expensive preprocessing end of the grid).
+	var speed, prep float64
+	w := 0
+	for _, l := range ctx.Labels {
+		// Recompute out-of-fold selection with naive policy using true
+		// classes as a stand-in: the point is the preprocessing delta.
+		best := 0
+		for i := range l.Classes {
+			if l.Classes[i] >= l.Classes[best] {
+				best = i
+			}
+		}
+		speed += l.MKLCycles / l.Cycles[best]
+		prep += (l.FeatureCycles + l.PrepCost[best]) / l.MKLCycles
+		w++
+	}
+	t.AddRow("naive (last max)", fmt.Sprintf("%.3f", speed/float64(w)),
+		fmt.Sprintf("%.2f", prep/float64(w)))
+	t.Note("the prep-aware heuristic should pay materially fewer preprocessing iterations at similar speedup")
+	return t
+}
+
+// AblationModelFamily compares the paper's single decision trees against a
+// bagging random-forest ensemble — the natural future-work model upgrade.
+func AblationModelFamily(ctx *Context) *Table {
+	t := &Table{
+		ID:     "ablation-model",
+		Title:  "Model-family ablation: tree vs random forest",
+		Header: []string{"model", "mean speedup", "% of oracle"},
+	}
+	tree, err := core.Evaluate(ctx.Labels, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	t.AddRow("decision tree (paper)",
+		fmt.Sprintf("%.3f", tree.MeanWISESpeedup),
+		fmt.Sprintf("%.1f%%", 100*tree.MeanWISESpeedup/tree.MeanOracleSpeedup))
+	fcfg := ml.ForestConfig{Trees: 15, Tree: ctx.TreeCfg, SampleFraction: 0.8}
+	forest, err := core.EvaluateForest(ctx.Labels, fcfg, ctx.Folds, ctx.Seed)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	t.AddRow("random forest (15 trees)",
+		fmt.Sprintf("%.3f", forest.MeanWISESpeedup),
+		fmt.Sprintf("%.1f%%", 100*forest.MeanWISESpeedup/forest.MeanOracleSpeedup))
+	t.Note("ensembling may close part of the WISE-vs-oracle gap at ~15x training cost")
+	return t
+}

@@ -1,0 +1,162 @@
+// Package experiments contains one driver per table and figure of the WISE
+// paper's evaluation. Every driver emits a Table with the same rows or
+// series the paper reports, computed on the scaled corpus and machine model
+// (see DESIGN.md for the per-experiment index and the expected reproduction
+// quality: shapes and orderings rather than absolute Skylake numbers).
+package experiments
+
+import (
+	"sort"
+
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/ml"
+	"wise/internal/perf"
+)
+
+// Context carries the labeled corpus shared by most experiments, so the
+// expensive labeling pass (cache simulation of 29 methods per matrix) runs
+// once per invocation of the harness.
+type Context struct {
+	Mach      machine.Machine
+	Estimator *costmodel.Estimator
+	Space     []kernels.Method
+	CorpusCfg gen.CorpusConfig
+	TreeCfg   ml.TreeConfig
+	Folds     int
+	Seed      int64
+
+	Labels []perf.MatrixLabels // full corpus: science-like first, then random
+}
+
+// ContextConfig selects the corpus scale and labeling parallelism.
+type ContextConfig struct {
+	Corpus  gen.CorpusConfig
+	Workers int
+}
+
+// DefaultContextConfig labels the default scaled corpus.
+func DefaultContextConfig() ContextConfig {
+	return ContextConfig{Corpus: gen.DefaultCorpusConfig()}
+}
+
+// SmokeContextConfig is a minimal corpus for tests: small matrices, every
+// class represented.
+func SmokeContextConfig() ContextConfig {
+	return ContextConfig{
+		Corpus: gen.CorpusConfig{
+			Seed:      1,
+			RowScales: []float64{9, 11, 13},
+			Degrees:   []float64{4, 16},
+			MaxNNZ:    1 << 21,
+			SciCount:  10,
+		},
+		Workers: 0,
+	}
+}
+
+// NewContextFromLabels wraps an already-labeled corpus (e.g. loaded from a
+// perf.SaveLabels file) in a Context, skipping the expensive labeling pass.
+func NewContextFromLabels(labels []perf.MatrixLabels) *Context {
+	mach := machine.Scaled()
+	return &Context{
+		Mach:      mach,
+		Estimator: costmodel.New(mach),
+		Space:     kernels.ModelSpace(mach),
+		TreeCfg:   ml.DefaultTreeConfig(),
+		Folds:     10,
+		Seed:      1,
+		Labels:    labels,
+	}
+}
+
+// NewContext generates and labels the corpus.
+func NewContext(cfg ContextConfig) *Context {
+	mach := machine.Scaled()
+	ctx := &Context{
+		Mach:      mach,
+		Estimator: costmodel.New(mach),
+		Space:     kernels.ModelSpace(mach),
+		CorpusCfg: cfg.Corpus,
+		TreeCfg:   ml.DefaultTreeConfig(),
+		Folds:     10,
+		Seed:      1,
+	}
+	corpus := gen.Corpus(cfg.Corpus)
+	ctx.Labels = perf.LabelCorpus(perf.LabelConfig{
+		Estimator: ctx.Estimator,
+		Space:     ctx.Space,
+		Features:  features.DefaultConfig(),
+		Workers:   cfg.Workers,
+	}, corpus)
+	return ctx
+}
+
+// Science returns the science-like (SuiteSparse stand-in) subset.
+func (c *Context) Science() []perf.MatrixLabels {
+	var out []perf.MatrixLabels
+	for _, l := range c.Labels {
+		if l.Class == gen.ClassSci {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Random returns the RMAT/RGG subset.
+func (c *Context) Random() []perf.MatrixLabels {
+	var out []perf.MatrixLabels
+	for _, l := range c.Labels {
+		if l.Class != gen.ClassSci {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// methodIndex finds a method in the space, panicking if absent (the space is
+// a fixed grid; a miss is a programming error).
+func (c *Context) methodIndex(m kernels.Method) int {
+	for i, s := range c.Space {
+		if s == m {
+			return i
+		}
+	}
+	panic("experiments: method not in space: " + m.String())
+}
+
+// fastestVectorized returns, for one matrix, the index of its fastest
+// non-CSR method and of its fastest method overall.
+func fastestIndices(l perf.MatrixLabels) (bestAny, bestVec int) {
+	bestAny, bestVec = 0, -1
+	for i := range l.Cycles {
+		if l.Cycles[i] < l.Cycles[bestAny] {
+			bestAny = i
+		}
+		if l.Methods[i].Kind != kernels.CSR {
+			if bestVec == -1 || l.Cycles[i] < l.Cycles[bestVec] {
+				bestVec = i
+			}
+		}
+	}
+	return bestAny, bestVec
+}
+
+// sortByFastestKind orders matrices by the family of their fastest method
+// (the grouping of the paper's Figure 2 x-axis), then by name.
+func sortByFastestKind(labels []perf.MatrixLabels) []perf.MatrixLabels {
+	out := append([]perf.MatrixLabels(nil), labels...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ba, _ := fastestIndices(out[a])
+		bb, _ := fastestIndices(out[b])
+		ka, kb := out[a].Methods[ba].Kind, out[b].Methods[bb].Kind
+		if ka != kb {
+			return ka < kb
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}

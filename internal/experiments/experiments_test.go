@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wise/internal/gen"
+	"wise/internal/kernels"
+)
+
+var smokeCtx *Context
+
+func getCtx(t testing.TB) *Context {
+	t.Helper()
+	if smokeCtx == nil {
+		smokeCtx = NewContext(SmokeContextConfig())
+		// Smaller folds for the tiny smoke corpus.
+		smokeCtx.Folds = 5
+	}
+	return smokeCtx
+}
+
+func TestContextSubsets(t *testing.T) {
+	ctx := getCtx(t)
+	sci, random := ctx.Science(), ctx.Random()
+	if len(sci) == 0 || len(random) == 0 {
+		t.Fatal("corpus subsets empty")
+	}
+	if len(sci)+len(random) != len(ctx.Labels) {
+		t.Error("subsets do not partition corpus")
+	}
+	for _, l := range sci {
+		if l.Class != gen.ClassSci {
+			t.Error("science subset polluted")
+		}
+	}
+}
+
+func TestMethodIndexPanicsOnUnknown(t *testing.T) {
+	ctx := getCtx(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ctx.methodIndex(kernels.Method{Kind: kernels.SELLPACK, C: 99, Sched: kernels.Dyn})
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "longer"}}
+	tab.AddRow("1", "2")
+	tab.AddRowf("v", 3.14159)
+	tab.Note("note %d", 7)
+	s := tab.String()
+	for _, want := range []string{"== x: demo ==", "longer", "3.142", "note: note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func checkTable(t *testing.T, tab *Table, wantRows bool) {
+	t.Helper()
+	if tab.ID == "" || tab.Title == "" || len(tab.Header) == 0 {
+		t.Fatalf("table metadata incomplete: %+v", tab)
+	}
+	if wantRows && len(tab.Rows) == 0 {
+		t.Fatalf("%s: no rows", tab.ID)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "ERROR") {
+			t.Fatalf("%s: driver error: %s", tab.ID, n)
+		}
+	}
+	if s := tab.String(); len(s) < 10 {
+		t.Fatalf("%s: trivial rendering", tab.ID)
+	}
+}
+
+func TestFig2(t *testing.T)  { checkTable(t, Fig2(getCtx(t)), true) }
+func TestFig3(t *testing.T)  { checkTable(t, Fig3(getCtx(t)), true) }
+func TestFig4(t *testing.T)  { checkTable(t, Fig4(getCtx(t)), true) }
+func TestFig7(t *testing.T)  { checkTable(t, Fig7(getCtx(t)), true) }
+func TestFig11(t *testing.T) { checkTable(t, Fig11(getCtx(t)), true) }
+func TestFig12(t *testing.T) { checkTable(t, Fig12(getCtx(t)), true) }
+func TestFig10(t *testing.T) { checkTable(t, Fig10(getCtx(t)), true) }
+func TestFig13(t *testing.T) { checkTable(t, Fig13(getCtx(t)), true) }
+func TestSec64(t *testing.T) { checkTable(t, Sec64(getCtx(t)), true) }
+
+func TestFig1Formats(t *testing.T) {
+	tab := Fig1Formats(getCtx(t))
+	checkTable(t, tab, true)
+	if len(tab.Rows) != 5 {
+		t.Errorf("%d format rows, want 5", len(tab.Rows))
+	}
+}
+
+func TestFig5And6Smoke(t *testing.T) {
+	ctx := getCtx(t)
+	cfg := SmokeSweepConfig()
+	f5 := Fig5(ctx, cfg)
+	checkTable(t, f5, true)
+	if len(f5.Rows) != 2*len(cfg.RowScales)*len(cfg.Degrees) {
+		t.Errorf("fig5 rows = %d", len(f5.Rows))
+	}
+	f6 := Fig6(ctx, cfg)
+	checkTable(t, f6, true)
+}
+
+func TestTable4Smoke(t *testing.T) {
+	tab := Table4(getCtx(t))
+	checkTable(t, tab, true)
+	if len(tab.Rows) != 4 {
+		t.Errorf("table4 rows = %d, want 4 depths", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 7 {
+			t.Errorf("table4 row width = %d, want 7", len(row))
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	ctx := getCtx(t)
+	checkTable(t, AblationFeatureSets(ctx), true)
+	checkTable(t, AblationClasses(ctx), true)
+	checkTable(t, AblationTieBreak(ctx), true)
+	checkTable(t, AblationModelFamily(ctx), true)
+	probe := gen.CorpusConfig{
+		Seed:      2,
+		RowScales: []float64{9, 12},
+		Degrees:   []float64{8},
+		MaxNNZ:    1 << 20,
+		SciCount:  4,
+	}
+	checkTable(t, AblationFlatMemory(ctx, probe), true)
+}
+
+func TestAllStandardRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables := AllStandard(getCtx(t))
+	if len(tables) != 12 {
+		t.Fatalf("%d standard tables, want 12", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tab := range tables {
+		if seen[tab.ID] {
+			t.Errorf("duplicate table id %s", tab.ID)
+		}
+		seen[tab.ID] = true
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	tab := FeatureImportance(getCtx(t))
+	checkTable(t, tab, true)
+	if len(tab.Rows) != 15 {
+		t.Errorf("importance rows = %d, want top 15", len(tab.Rows))
+	}
+}
+
+func TestNewContextFromLabels(t *testing.T) {
+	ctx := getCtx(t)
+	wrapped := NewContextFromLabels(ctx.Labels)
+	if len(wrapped.Labels) != len(ctx.Labels) {
+		t.Fatal("labels lost")
+	}
+	// Figure drivers must work identically on the wrapped context.
+	a, b := Fig4(ctx), Fig4(wrapped)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row count differs")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("fig4 differs at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestGridRendering(t *testing.T) {
+	tab := &Table{ID: "g", Title: "grid", Header: []string{"class", "rows", "nnz/row", "fastest", "speedup_vs_bestCSR"}}
+	tab.AddRow("HS", "2^10", "4", "SELLPACK", "1.500")
+	tab.AddRow("HS", "2^12", "4", "LAV", "2.000")
+	tab.AddRow("HS", "2^10", "16", "Sell-c-R", "1.200")
+	tab.AddRow("HS", "2^12", "16", "LAV", "2.500")
+	renderSweepGrids(tab)
+	if len(tab.Notes) != 1 {
+		t.Fatalf("notes = %d", len(tab.Notes))
+	}
+	note := tab.Notes[0]
+	for _, want := range []string{"fastest-method grid", "legend", "speedup grid", " A", " v", " x", "2.500"} {
+		if !strings.Contains(note, want) {
+			t.Errorf("grid note missing %q:\n%s", want, note)
+		}
+	}
+	// Degrees must render descending (16 above 4), mirroring the paper axes.
+	if strings.Index(note, "16 |") > strings.Index(note, " 4 |") {
+		t.Error("degree axis not descending")
+	}
+}
+
+func TestGridRenderingUnknownMethod(t *testing.T) {
+	tab := &Table{ID: "g", Title: "grid", Header: []string{"class", "rows", "nnz/row", "fastest", "speedup_vs_bestCSR"}}
+	tab.AddRow("X", "2^10", "4", "SomethingNew", "1.0")
+	renderSweepGrids(tab)
+	if !strings.Contains(tab.Notes[0], "?") {
+		t.Error("unknown method should render as ?")
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Figure 5/6 in the paper are symbol grids: the fastest method at each
+// (#rows, nnz/row) point, plus a heatmap of its speedup. renderSweepGrids
+// rebuilds those views from the sweep table rows so the harness output
+// reads like the paper's figures.
+
+// methodSymbols maps method families to the paper's plot markers.
+var methodSymbols = map[string]string{
+	"CSR":          "o",
+	"SELLPACK":     "A",
+	"Sell-c-sigma": "*",
+	"Sell-c-R":     "x",
+	"LAV-1Seg":     "+",
+	"LAV":          "v",
+	"SegCSR":       "#",
+}
+
+type sweepPoint struct {
+	rows, deg        string
+	fastest, speedup string
+}
+
+// renderSweepGrids appends, per class in the sweep table, a fastest-method
+// symbol grid and a speedup grid to the table notes. Rows of the table must
+// be (class, rows, nnz/row, fastest, speedup).
+func renderSweepGrids(t *Table) {
+	byClass := map[string][]sweepPoint{}
+	var classOrder []string
+	for _, row := range t.Rows {
+		if len(row) != 5 {
+			continue
+		}
+		c := row[0]
+		if _, ok := byClass[c]; !ok {
+			classOrder = append(classOrder, c)
+		}
+		byClass[c] = append(byClass[c], sweepPoint{row[1], row[2], row[3], row[4]})
+	}
+	for _, class := range classOrder {
+		pts := byClass[class]
+		rowsAxis := uniqueOrdered(pts, func(p sweepPoint) string { return p.rows })
+		degAxis := uniqueOrdered(pts, func(p sweepPoint) string { return p.deg })
+		sort.Slice(degAxis, func(a, b int) bool { return atofSafe(degAxis[a]) > atofSafe(degAxis[b]) })
+
+		lookup := map[[2]string]sweepPoint{}
+		for _, p := range pts {
+			lookup[[2]string{p.rows, p.deg}] = p
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s fastest-method grid (x: rows %s; y: nnz/row):\n",
+			class, strings.Join(rowsAxis, " "))
+		for _, deg := range degAxis {
+			fmt.Fprintf(&b, "  %6s |", deg)
+			for _, r := range rowsAxis {
+				if p, ok := lookup[[2]string{r, deg}]; ok {
+					sym := methodSymbols[p.fastest]
+					if sym == "" {
+						sym = "?"
+					}
+					fmt.Fprintf(&b, " %s", sym)
+				} else {
+					b.WriteString("  ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString("  legend: o=CSR A=SELLPACK *=Sell-c-sigma x=Sell-c-R +=LAV-1Seg v=LAV\n")
+		fmt.Fprintf(&b, "%s speedup grid:\n", class)
+		for _, deg := range degAxis {
+			fmt.Fprintf(&b, "  %6s |", deg)
+			for _, r := range rowsAxis {
+				if p, ok := lookup[[2]string{r, deg}]; ok {
+					fmt.Fprintf(&b, " %5s", trimTo(p.speedup, 5))
+				} else {
+					b.WriteString("      ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+		t.Note("%s", b.String())
+	}
+}
+
+func uniqueOrdered(pts []sweepPoint, key func(sweepPoint) string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range pts {
+		k := key(p)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// atofSafe parses a float prefix, returning 0 on failure; axis labels are
+// "2^13"-style for rows and plain numbers for degrees.
+func atofSafe(s string) float64 {
+	var v float64
+	fmt.Sscanf(strings.TrimPrefix(s, "2^"), "%g", &v)
+	return v
+}
+
+func trimTo(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"wise/internal/core"
+	"wise/internal/features"
+)
+
+// FeatureImportance trains the full model set and reports which Table 2
+// features the trees actually split on, averaged across all 29 models and
+// broken down for the five representative ones. This is companion evidence
+// for the paper's Section 4.2 design: skew features should dominate the
+// padding-sensitive models and locality features the LAV family.
+func FeatureImportance(ctx *Context) *Table {
+	t := &Table{
+		ID:     "feature-importance",
+		Title:  "Decision-tree Gini importance of the Table 2 features",
+		Header: []string{"rank", "feature", "mean importance (all 29 models)"},
+	}
+	w, err := core.Train(ctx.Labels, ctx.TreeCfg, features.DefaultConfig(), ctx.Mach)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	names := ctx.Labels[0].Features.Names
+	mean := make([]float64, len(names))
+	for _, model := range w.Models {
+		imp := model.Tree.FeatureImportance(len(names))
+		for i, v := range imp {
+			mean[i] += v / float64(len(w.Models))
+		}
+	}
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return mean[order[a]] > mean[order[b]] })
+	for rank, i := range order[:15] {
+		t.AddRow(fmt.Sprintf("%d", rank+1), names[i], fmt.Sprintf("%.4f", mean[i]))
+	}
+	// Per-representative-model top feature.
+	for _, method := range ctx.representativeModels() {
+		for _, model := range w.Models {
+			if model.Method != method {
+				continue
+			}
+			imp := model.Tree.FeatureImportance(len(names))
+			best, second := topTwo(imp)
+			t.Note("%s splits mostly on %s (%.3f) then %s (%.3f)",
+				method, names[best], imp[best], names[second], imp[second])
+		}
+	}
+	return t
+}
+
+func topTwo(v []float64) (best, second int) {
+	for i := range v {
+		if v[i] > v[best] {
+			second = best
+			best = i
+		} else if i != best && v[i] > v[second] {
+			second = i
+		}
+	}
+	if second == best && len(v) > 1 {
+		second = (best + 1) % len(v)
+	}
+	return best, second
+}

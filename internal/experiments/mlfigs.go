@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wise/internal/core"
+	"wise/internal/kernels"
+	"wise/internal/matrix"
+	"wise/internal/ml"
+	"wise/internal/stats"
+)
+
+// representativeModels returns the five models of Figure 10: SELLPACK,
+// Sell-c-sigma with the L2-resident sigma, Sell-c-R, LAV-1Seg and LAV with
+// T=80% — StCont scheduling for the first two, Dyn for the rest, c=8.
+func (c *Context) representativeModels() []kernels.Method {
+	sigmaMid := c.Mach.SigmaValues()[1]
+	return []kernels.Method{
+		{Kind: kernels.SELLPACK, C: 8, Sched: kernels.StCont},
+		{Kind: kernels.SellCSigma, C: 8, Sigma: sigmaMid, Sched: kernels.StCont},
+		{Kind: kernels.SellCR, C: 8, Sched: kernels.Dyn},
+		{Kind: kernels.LAV1Seg, C: 8, Sched: kernels.Dyn},
+		{Kind: kernels.LAV, C: 8, T: 0.8, Sched: kernels.Dyn},
+	}
+}
+
+// Fig10 reproduces Figure 10: 10-fold cross-validated confusion matrices
+// for the five representative models, with accuracy and the off-by-one
+// share of misclassifications.
+func Fig10(ctx *Context) *Table {
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Classification accuracy of WISE (10-fold CV, representative models)",
+		Header: []string{"model", "accuracy", "off-by-one among misses", "macro-F1", "overestimates", "underestimates"},
+	}
+	for _, method := range ctx.representativeModels() {
+		idx := ctx.methodIndex(method)
+		cm, err := core.ConfusionForMethod(ctx.Labels, idx, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+		if err != nil {
+			t.Note("ERROR %s: %v", method, err)
+			continue
+		}
+		over, under := cm.OverUnder()
+		t.AddRow(method.String(),
+			fmt.Sprintf("%.3f", cm.Accuracy()),
+			fmt.Sprintf("%.3f", cm.OffByOneOfMisclassified()),
+			fmt.Sprintf("%.3f", cm.MacroF1()),
+			fmt.Sprintf("%d", over),
+			fmt.Sprintf("%d", under))
+		t.Note("confusion matrix for %s:\n%s", method, cm.String())
+	}
+	t.Note("paper accuracies: SELLPACK 87%%, Sell-c-sigma 92%%, Sell-c-R 87%%, LAV-1Seg 84%%, LAV 83%%; 89-94%% of misses off by one")
+	return t
+}
+
+// Fig13 reproduces Figure 13: the distribution of WISE and oracle speedups
+// over the MKL-like baseline, and the WISE preprocessing overhead in
+// baseline-iteration units. Section 6.4's inspector-executor comparison is
+// reported in the notes.
+func Fig13(ctx *Context) *Table {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "WISE and oracle speedup over MKL baseline; preprocessing overhead",
+		Header: []string{"series", "bin", "matrices"},
+	}
+	res, err := core.Evaluate(ctx.Labels, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	var wise, oracle, prep, ie, iePrep []float64
+	for _, pm := range res.PerMatrix {
+		wise = append(wise, pm.WISESpeedup)
+		oracle = append(oracle, pm.OracleSpeedup)
+		prep = append(prep, pm.WISEPrepIters)
+		ie = append(ie, pm.IESpeedup)
+		iePrep = append(iePrep, pm.IEPrepIters)
+	}
+	emitHist := func(series string, values []float64, lo, hi float64, bins int) {
+		counts, edges := stats.Histogram(values, lo, hi, bins)
+		for i, c := range counts {
+			t.AddRow(series, fmt.Sprintf("%.1f-%.1f", edges[i], edges[i+1]), fmt.Sprintf("%d", c))
+		}
+	}
+	emitHist("wise_speedup", wise, 0, 8, 16)
+	emitHist("oracle_speedup", oracle, 0, 8, 16)
+	emitHist("ie_speedup", ie, 0, 8, 16)
+	emitHist("wise_prep_iters", prep, 0, 50, 10)
+	emitHist("ie_prep_iters", iePrep, 0, 50, 10)
+	t.Note("mean WISE speedup over MKL: %.2fx (paper: 2.4x)", res.MeanWISESpeedup)
+	t.Note("mean oracle speedup over MKL: %.2fx (paper: 2.5x)", res.MeanOracleSpeedup)
+	t.Note("mean WISE preprocessing: %.2f MKL iterations (paper: 8.33)", res.MeanWISEPrepIters)
+	t.Note("sec6.4: mean MKL-IE speedup %.2fx (paper: 2.11x); WISE/IE = %.2fx (paper: 1.14x)",
+		res.MeanIESpeedup, res.MeanWISESpeedup/res.MeanIESpeedup)
+	t.Note("sec6.4: mean IE preprocessing %.2f iterations; WISE is %.0f%% of IE (paper: <50%%)",
+		res.MeanIEPrepIters, 100*res.MeanWISEPrepIters/res.MeanIEPrepIters)
+	return t
+}
+
+// Sec64 reports the inspector-executor comparison as its own table.
+func Sec64(ctx *Context) *Table {
+	t := &Table{
+		ID:     "sec6.4",
+		Title:  "WISE vs MKL inspector-executor",
+		Header: []string{"metric", "WISE", "MKL IE", "paper WISE", "paper IE"},
+	}
+	res, err := core.Evaluate(ctx.Labels, ctx.TreeCfg, ctx.Folds, ctx.Seed)
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	t.AddRow("mean speedup over MKL",
+		fmt.Sprintf("%.2fx", res.MeanWISESpeedup),
+		fmt.Sprintf("%.2fx", res.MeanIESpeedup),
+		"2.4x", "2.11x")
+	t.AddRow("mean preprocessing (MKL iters)",
+		fmt.Sprintf("%.2f", res.MeanWISEPrepIters),
+		fmt.Sprintf("%.2f", res.MeanIEPrepIters),
+		"8.33", "17.43")
+	t.Note("WISE/IE speedup ratio: %.2fx (paper: 1.14x); prep ratio %.0f%% (paper: <50%%)",
+		res.MeanWISESpeedup/res.MeanIESpeedup,
+		100*res.MeanWISEPrepIters/res.MeanIEPrepIters)
+	return t
+}
+
+// Table4 reproduces Table 4: the mean WISE speedup over the MKL baseline for
+// every (max depth D, pruning ccp_alpha) combination of the decision trees.
+func Table4(ctx *Context) *Table {
+	depths := []int{5, 10, 15, 20}
+	alphas := []float64{0, 0.001, 0.005, 0.01, 0.05, 0.1}
+	t := &Table{
+		ID:     "table4",
+		Title:  "Mean WISE speedup by decision-tree max depth (D) and pruning (ccp)",
+		Header: []string{"D \\ ccp", "0", "0.001", "0.005", "0.01", "0.05", "0.1"},
+	}
+	for _, d := range depths {
+		row := []string{fmt.Sprintf("D=%d", d)}
+		for _, a := range alphas {
+			cfg := ml.TreeConfig{MaxDepth: d, MinSamplesLeaf: 1, CCPAlpha: a}
+			res, err := core.Evaluate(ctx.Labels, cfg, ctx.Folds, ctx.Seed)
+			if err != nil {
+				row = append(row, "ERR")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.MeanWISESpeedup))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Note("paper: speedups 2.21-2.41; best with low ccp (< 0.05) and D >= 10; chosen D=15, ccp=0.005")
+	return t
+}
+
+// Fig1Formats is the worked-example driver (Figures 1 and 14): it renders
+// the SRVPack layouts of every method on the paper-style example matrix via
+// the formats example; here it reports the layout statistics.
+func Fig1Formats(ctx *Context) *Table {
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Worked-example formats (8x8 matrix of Figure 1)",
+		Header: []string{"method", "segments", "chunks", "stored slots", "padding"},
+	}
+	m := matrix.Fig1Example()
+	for _, method := range []kernels.Method{
+		{Kind: kernels.SELLPACK, C: 2, Sched: kernels.Dyn},
+		{Kind: kernels.SellCSigma, C: 2, Sigma: 4, Sched: kernels.Dyn},
+		{Kind: kernels.SellCR, C: 2, Sched: kernels.Dyn},
+		{Kind: kernels.LAV1Seg, C: 2, Sched: kernels.Dyn},
+		{Kind: kernels.LAV, C: 2, T: 0.7, Sched: kernels.Dyn},
+	} {
+		p := kernels.BuildSRVPack(m, method)
+		st := p.Stats()
+		t.AddRowf(method.String(), st.Segments, st.Chunks, st.StoredSlots, st.Padding)
+	}
+	t.Note("run examples/formats for the full rendered layouts")
+	return t
+}
+
+// AllStandard runs every corpus-based experiment (the sweeps of Figures 5-6
+// take their own config; see Fig5/Fig6).
+func AllStandard(ctx *Context) []*Table {
+	return []*Table{
+		Fig1Formats(ctx),
+		Fig2(ctx),
+		Fig3(ctx),
+		Fig4(ctx),
+		Fig7(ctx),
+		Fig10(ctx),
+		Fig11(ctx),
+		Fig12(ctx),
+		Fig13(ctx),
+		Sec64(ctx),
+		Table4(ctx),
+		FeatureImportance(ctx),
+	}
+}

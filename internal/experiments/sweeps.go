@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/perf"
+)
+
+// SweepConfig controls the Figure 5/6 grids: the cross product of row scales
+// and average degrees, for a pair of generator classes.
+type SweepConfig struct {
+	RowScales []float64
+	Degrees   []float64
+	MaxNNZ    int64
+	Seed      int64
+}
+
+// DefaultSweepConfig mirrors the paper's grid at scaled size: the LLC
+// crossover (paper rows 2^22) sits in the middle of the row range.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		RowScales: []float64{10, 11, 12, 13, 14, 15},
+		Degrees:   []float64{4, 8, 16, 32, 64, 128},
+		MaxNNZ:    1 << 22,
+		Seed:      7,
+	}
+}
+
+// SmokeSweepConfig is a minimal grid for tests.
+func SmokeSweepConfig() SweepConfig {
+	return SweepConfig{
+		RowScales: []float64{9, 12},
+		Degrees:   []float64{4, 16},
+		MaxNNZ:    1 << 20,
+		Seed:      7,
+	}
+}
+
+// sweep labels the grid for one class and emits (fastest method, speedup
+// over best CSR) per point.
+func sweep(ctx *Context, t *Table, class gen.Class, cfg SweepConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, deg := range cfg.Degrees {
+		for _, rs := range cfg.RowScales {
+			rows := int(math.Round(math.Pow(2, rs)))
+			if int64(deg*float64(rows)) > cfg.MaxNNZ {
+				continue
+			}
+			var m = gen.RMATRows(rng, rows, deg, gen.RMATClassParams[class])
+			m = gen.CapRowDegree(rng, m, hubCapFor(m.NNZ()))
+			labels := perf.LabelMatrix(perf.LabelConfig{
+				Estimator: ctx.Estimator,
+				Space:     ctx.Space,
+				Features:  features.DefaultConfig(),
+			}, gen.Labeled{Name: fmt.Sprintf("%s_r%g_d%g", class, rs, deg), Class: class, M: m})
+			bestAny, _ := fastestIndices(labels)
+			t.AddRow(
+				string(class),
+				fmt.Sprintf("2^%g", rs),
+				fmt.Sprintf("%g", deg),
+				labels.Methods[bestAny].Kind.String(),
+				fmt.Sprintf("%.3f", labels.BestCSRCycles/labels.Cycles[bestAny]),
+			)
+		}
+	}
+}
+
+func hubCapFor(nnz int) int {
+	cap := nnz / 500
+	if cap < 32 {
+		cap = 32
+	}
+	return cap
+}
+
+// Fig5 reproduces Figure 5: fastest method and its speedup over best CSR
+// across (#rows x avg nonzeros/row) grids for the LowSkew and HighSkew RMAT
+// classes.
+func Fig5(ctx *Context, cfg SweepConfig) *Table {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Fastest method and speedup by matrix size, LowSkew vs HighSkew",
+		Header: []string{"class", "rows", "nnz/row", "fastest", "speedup_vs_bestCSR"},
+	}
+	sweep(ctx, t, gen.ClassLS, cfg)
+	sweep(ctx, t, gen.ClassHS, cfg)
+	renderSweepGrids(t)
+	t.Note("paper: LAV family and Sell-c-R dominate; LAV wins when rows exceed the LLC (scaled: rows > 2^13) and nnz/row >= 16; Sell-c-R wins small low-skew matrices")
+	return t
+}
+
+// Fig6 reproduces Figure 6: the same grids for the LowLoc and HighLoc
+// classes.
+func Fig6(ctx *Context, cfg SweepConfig) *Table {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Fastest method and speedup by matrix size, LowLoc vs HighLoc",
+		Header: []string{"class", "rows", "nnz/row", "fastest", "speedup_vs_bestCSR"},
+	}
+	sweep(ctx, t, gen.ClassLL, cfg)
+	sweep(ctx, t, gen.ClassHL, cfg)
+	renderSweepGrids(t)
+	t.Note("paper: Sell-c-sigma fastest for HighLoc everywhere; for LowLoc it yields to LAV at high nnz/row; speedups larger for HighLoc")
+	return t
+}

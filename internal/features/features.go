@@ -1,0 +1,246 @@
+// Package features extracts the WISE sparse-matrix feature set (paper
+// Table 2): matrix size, nonzero skew of the row and column distributions,
+// and nonzero locality statistics over a K x K logical tiling — including the
+// per-tile unique-row/column and potential-reuse metrics with adjacency
+// group sizes X in {4, 8, 16, 32, 64}.
+package features
+
+import (
+	"fmt"
+
+	"wise/internal/matrix"
+	"wise/internal/stats"
+)
+
+// GroupSizes are the adjacency group widths X used for GrX_uniq and
+// GrX_potReuse features (paper Section 4.2).
+var GroupSizes = []int{4, 8, 16, 32, 64}
+
+// Config controls feature extraction.
+type Config struct {
+	// K is the logical tiling factor: the matrix is split into up to K x K
+	// tiles of ceil(nR/K) x ceil(nC/K) elements. The paper uses K = 2048 for
+	// 1-67M-row matrices; the scaled default is 64 so tiles keep the same
+	// relationship to the scaled cache hierarchy.
+	K int
+}
+
+// DefaultConfig returns the scaled tiling configuration.
+func DefaultConfig() Config { return Config{K: 64} }
+
+// PaperConfig returns the paper's tiling configuration (K = 2048).
+func PaperConfig() Config { return Config{K: 2048} }
+
+// Features is a named feature vector. Values and Names align by index; the
+// layout is fixed for a given Config, so vectors from different matrices are
+// directly comparable.
+type Features struct {
+	Names  []string
+	Values []float64
+}
+
+// Get returns the value of the named feature, panicking if absent (a typo'd
+// feature name is a programming error).
+func (f Features) Get(name string) float64 {
+	for i, n := range f.Names {
+		if n == name {
+			return f.Values[i]
+		}
+	}
+	panic(fmt.Sprintf("features: unknown feature %q", name))
+}
+
+// FeatureCount returns the number of features extracted per matrix:
+// 3 size + 2 x 8 skew + 3 x 8 locality-distribution + 4 uniq/potReuse +
+// 4 x len(GroupSizes) grouped variants.
+func FeatureCount() int { return 3 + 5*8 + 4 + 4*len(GroupSizes) }
+
+// Extract computes the full WISE feature vector of a matrix.
+func Extract(m *matrix.CSR, cfg Config) Features {
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	f := Features{
+		Names:  make([]string, 0, FeatureCount()),
+		Values: make([]float64, 0, FeatureCount()),
+	}
+	add := func(name string, v float64) {
+		f.Names = append(f.Names, name)
+		f.Values = append(f.Values, v)
+	}
+	addSummary := func(dist string, s stats.Summary) {
+		add("mu_"+dist, s.Mean)
+		add("sigma_"+dist, s.Std)
+		add("var_"+dist, s.Variance)
+		add("gini_"+dist, s.Gini)
+		add("p_"+dist, s.PRatio)
+		add("min_"+dist, s.Min)
+		add("max_"+dist, s.Max)
+		add("ne_"+dist, float64(s.NonEmpty))
+	}
+
+	// (1) Size properties.
+	nnz := int64(m.NNZ())
+	add("n_rows", float64(m.Rows))
+	add("n_cols", float64(m.Cols))
+	add("nnz", float64(nnz))
+
+	// (2) Skew: R and C distributions.
+	rowCounts := m.RowCounts()
+	colCounts := m.ColCounts()
+	addSummary("R", stats.Summarize(rowCounts))
+	addSummary("C", stats.Summarize(colCounts))
+
+	// (3) Locality: tiling and T/RB/CB distributions.
+	t := newTiling(m.Rows, m.Cols, cfg.K)
+	tileCounts := make([]int64, t.kr*t.kc)
+	rbCounts := make([]int64, t.kr)
+	cbCounts := make([]int64, t.kc)
+	for i := 0; i < m.Rows; i++ {
+		tr := i / t.tileRows
+		cols, _ := m.Row(i)
+		rbCounts[tr] += int64(len(cols))
+		for _, c := range cols {
+			tc := int(c) / t.tileCols
+			tileCounts[tr*t.kc+tc]++
+			cbCounts[tc]++
+		}
+	}
+	addSummary("T", stats.Summarize(tileCounts))
+	addSummary("RB", stats.Summarize(rbCounts))
+	addSummary("CB", stats.Summarize(cbCounts))
+
+	// Tile-layout features: unique rows/cols and reuse potential.
+	rowSide := rowSideCounts(m, t)
+	colSide := colSideCounts(m, t)
+	denomNNZ := float64(nnz)
+	if denomNNZ == 0 {
+		denomNNZ = 1
+	}
+	add("uniqR", float64(rowSide[1])/denomNNZ)
+	add("uniqC", float64(colSide[1])/denomNNZ)
+	for _, x := range GroupSizes {
+		add(fmt.Sprintf("gr%d_uniqR", x), float64(rowSide[x])/denomNNZ)
+		add(fmt.Sprintf("gr%d_uniqC", x), float64(colSide[x])/denomNNZ)
+	}
+	add("potReuseR", float64(rowSide[1])/float64(maxInt(m.Rows, 1)))
+	add("potReuseC", float64(colSide[1])/float64(maxInt(m.Cols, 1)))
+	for _, x := range GroupSizes {
+		nGroupsR := (m.Rows + x - 1) / x
+		nGroupsC := (m.Cols + x - 1) / x
+		add(fmt.Sprintf("gr%d_potReuseR", x), float64(rowSide[x])/float64(maxInt(nGroupsR, 1)))
+		add(fmt.Sprintf("gr%d_potReuseC", x), float64(colSide[x])/float64(maxInt(nGroupsC, 1)))
+	}
+	return f
+}
+
+// tiling describes the logical K x K grid over a matrix.
+type tiling struct {
+	tileRows, tileCols int // elements per tile in each dimension
+	kr, kc             int // number of tile rows / columns
+}
+
+func newTiling(rows, cols, k int) tiling {
+	tr := (rows + k - 1) / k
+	if tr < 1 {
+		tr = 1
+	}
+	tc := (cols + k - 1) / k
+	if tc < 1 {
+		tc = 1
+	}
+	kr := (rows + tr - 1) / tr
+	if kr < 1 {
+		kr = 1
+	}
+	kc := (cols + tc - 1) / tc
+	if kc < 1 {
+		kc = 1
+	}
+	return tiling{tileRows: tr, tileCols: tc, kr: kr, kc: kc}
+}
+
+// rowSideCounts returns, for every group size X in {1} + GroupSizes, the
+// number of distinct (tile, row-group) pairs with at least one nonzero.
+// With X = 1 this is the sum over tiles of uniqR_i; for larger X it is the
+// sum of GrX_uniqR_i, and divided by the group count it equals the mean
+// GrX_potReuseR. The computation streams rows in ascending order, so the
+// "last row-group seen per tile" dedupe is exact.
+func rowSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
+	xs := append([]int{1}, GroupSizes...)
+	counts := make(map[int]int64, len(xs))
+	lastRow := make([]int64, t.kr*t.kc)
+	for i := range lastRow {
+		lastRow[i] = -1
+	}
+	for i := 0; i < m.Rows; i++ {
+		tr := i / t.tileRows
+		cols, _ := m.Row(i)
+		prevTC := -1
+		for _, c := range cols {
+			tc := int(c) / t.tileCols
+			if tc == prevTC {
+				continue // same tile as previous nonzero of this row
+			}
+			prevTC = tc
+			tile := tr*t.kc + tc
+			last := lastRow[tile]
+			for _, x := range xs {
+				if last < 0 || last/int64(x) != int64(i)/int64(x) {
+					counts[x]++
+				}
+			}
+			lastRow[tile] = int64(i)
+		}
+	}
+	return counts
+}
+
+// colSideCounts mirrors rowSideCounts for columns: distinct (tile,
+// col-group) pairs. Columns are not globally sorted, so it processes one
+// tile row at a time with epoch-stamped dedupe. For X = 1 the tile column is
+// a function of the column, so a per-column epoch suffices; for larger X a
+// group can straddle tile-column boundaries, so the epoch array is keyed by
+// the exact (group, tileCol) pair.
+func colSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
+	counts := make(map[int]int64, 1+len(GroupSizes))
+	colEpoch := make([]int32, m.Cols)
+	pairEpochs := make([][]int32, len(GroupSizes))
+	for xi, x := range GroupSizes {
+		nGroups := (m.Cols+x-1)/x + 1
+		pairEpochs[xi] = make([]int32, nGroups*t.kc)
+	}
+	epoch := int32(0)
+	for trLo := 0; trLo < m.Rows; trLo += t.tileRows {
+		epoch++
+		trHi := trLo + t.tileRows
+		if trHi > m.Rows {
+			trHi = m.Rows
+		}
+		for i := trLo; i < trHi; i++ {
+			cols, _ := m.Row(i)
+			for _, c := range cols {
+				tc := int(c) / t.tileCols
+				if colEpoch[c] != epoch {
+					colEpoch[c] = epoch
+					counts[1]++
+				}
+				for xi, x := range GroupSizes {
+					pair := (int(c)/x)*t.kc + tc
+					if pairEpochs[xi][pair] != epoch {
+						pairEpochs[xi][pair] = epoch
+						counts[x]++
+					}
+				}
+			}
+		}
+	}
+	return counts
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

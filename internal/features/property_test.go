@@ -1,0 +1,104 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wise/internal/matrix"
+)
+
+type specRandom struct {
+	Rows, Cols uint8
+	Seed       int64
+	Density    uint8
+	K          uint8
+}
+
+func (s specRandom) build() (*matrix.CSR, Config) {
+	rows := int(s.Rows%100) + 1
+	cols := int(s.Cols%100) + 1
+	rng := rand.New(rand.NewSource(s.Seed))
+	nnz := int(s.Density%50) * rows * cols / 100
+	coo := matrix.NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		coo.Add(int32(rng.Intn(rows)), int32(rng.Intn(cols)), 1)
+	}
+	return coo.ToCSR(), Config{K: int(s.K%100) + 1}
+}
+
+// TestQuickFeaturesFinite: the feature vector is finite (no NaN/Inf) and has
+// the fixed layout for arbitrary matrices and tiling factors.
+func TestQuickFeaturesFinite(t *testing.T) {
+	f := func(s specRandom) bool {
+		m, cfg := s.build()
+		feats := Extract(m, cfg)
+		if len(feats.Values) != FeatureCount() {
+			return false
+		}
+		for _, v := range feats.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFeatureBounds: the normalized locality features stay in sane
+// ranges for arbitrary inputs.
+func TestQuickFeatureBounds(t *testing.T) {
+	f := func(s specRandom) bool {
+		m, cfg := s.build()
+		feats := Extract(m, cfg)
+		for i, name := range feats.Names {
+			v := feats.Values[i]
+			switch {
+			case name == "gini_R" || name == "gini_C" || name == "gini_T" ||
+				name == "gini_RB" || name == "gini_CB":
+				if v < 0 || v >= 1 {
+					return false
+				}
+			case name == "p_R" || name == "p_C" || name == "p_T" ||
+				name == "p_RB" || name == "p_CB":
+				if v <= 0 || v > 0.5+1e-9 {
+					return false
+				}
+			case name == "uniqR" || name == "uniqC":
+				if m.NNZ() > 0 && (v <= 0 || v > 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTilingInvariant: the K x K tiling never produces more tile rows
+// or columns than matrix rows/columns, and always covers the matrix.
+func TestQuickTilingInvariant(t *testing.T) {
+	f := func(rows, cols, k uint16) bool {
+		r := int(rows%5000) + 1
+		c := int(cols%5000) + 1
+		kk := int(k%4096) + 1
+		tl := newTiling(r, c, kk)
+		if tl.kr > r || tl.kc > c {
+			return false
+		}
+		// Coverage: the last row/col must fall inside the grid.
+		if (r-1)/tl.tileRows >= tl.kr || (c-1)/tl.tileCols >= tl.kc {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

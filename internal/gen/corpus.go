@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wise/internal/matrix"
+)
+
+// Class tags a corpus matrix with its generator family, matching the
+// paper's legend in Figure 11 plus "sci" for the science-like set.
+type Class string
+
+// Corpus classes.
+const (
+	ClassHS  Class = "HS"  // RMAT high skew (Graph500)
+	ClassMS  Class = "MS"  // RMAT medium skew
+	ClassLS  Class = "LS"  // RMAT low skew
+	ClassLL  Class = "LL"  // RMAT low locality (Erdos-Renyi)
+	ClassML  Class = "ML"  // RMAT medium locality
+	ClassHL  Class = "HL"  // RMAT high locality
+	ClassRGG Class = "rgg" // random geometric graph
+	ClassSci Class = "sci" // science-like (SuiteSparse stand-in)
+)
+
+// RMATClassParams maps each RMAT class to its Table 3 parameters.
+var RMATClassParams = map[Class]RMATParams{
+	ClassHS: HighSkew,
+	ClassMS: MedSkew,
+	ClassLS: LowSkew,
+	ClassLL: LowLoc,
+	ClassML: MedLoc,
+	ClassHL: HighLoc,
+}
+
+// Labeled is a corpus matrix with provenance.
+type Labeled struct {
+	Name  string
+	Class Class
+	M     *matrix.CSR
+}
+
+// CorpusConfig controls corpus generation. The paper uses rows 2^20-2^26 and
+// average degrees 4-128 on a 192 GB server; this reproduction scales row
+// counts down (default 2^10-2^15) together with the machine model's cache
+// sizes so every capacity crossover lands at the same normalized position.
+type CorpusConfig struct {
+	Seed      int64
+	RowScales []float64 // log2 of row counts; fractional scales allowed (paper uses 2^24.58 etc.)
+	Degrees   []float64 // average nonzeros per row
+	MaxNNZ    int64     // per-matrix nonzero cap (paper: 2e9)
+	SciCount  int       // number of science-like matrices (paper: 136)
+}
+
+// DefaultCorpusConfig returns the scaled-down default corpus: 7 random
+// classes x 6 row scales x 5 degrees = 210 random matrices plus 68
+// science-like ones.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{10, 11, 12, 12.58, 13, 14},
+		Degrees:   []float64{4, 8, 16, 32, 64},
+		MaxNNZ:    1 << 22,
+		SciCount:  68,
+	}
+}
+
+// MediumCorpusConfig sits between the default and full corpora: large enough
+// to measurably improve model accuracy (see EXPERIMENTS.md), small enough to
+// label in minutes.
+func MediumCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{10, 11, 12, 12.58, 13, 13.58, 14, 15},
+		Degrees:   []float64{4, 8, 16, 24, 32, 48, 64},
+		MaxNNZ:    1 << 22,
+		SciCount:  100,
+	}
+}
+
+// FullCorpusConfig approximates the paper's corpus shape (1,326 random + 136
+// science-like) at reduced scale: 7 classes x 11 row scales x 9 degrees =
+// 693 random matrices, 136 science-like.
+func FullCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{10, 11, 12, 13, 14, 14.58, 15, 15.3, 15.58, 15.8, 16},
+		Degrees:   []float64{4, 6, 8, 12, 16, 24, 32, 64, 128},
+		MaxNNZ:    1 << 24,
+		SciCount:  136,
+	}
+}
+
+// RandomCorpus generates the RMAT + RGG matrices of the configuration: every
+// class crossed with every row scale and degree, skipping combinations whose
+// nonzero budget exceeds MaxNNZ (the paper's 2-billion-nonzero cap, scaled).
+func RandomCorpus(cfg CorpusConfig) []Labeled {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Labeled
+	classes := []Class{ClassHS, ClassMS, ClassLS, ClassLL, ClassML, ClassHL, ClassRGG}
+	for _, class := range classes {
+		for _, rs := range cfg.RowScales {
+			rows := int(math.Round(math.Pow(2, rs)))
+			for _, deg := range cfg.Degrees {
+				if int64(deg*float64(rows)) > cfg.MaxNNZ {
+					continue
+				}
+				name := fmt.Sprintf("%s_r%g_d%g", class, rs, deg)
+				var m *matrix.CSR
+				if class == ClassRGG {
+					m = RGG(rng, rows, deg)
+				} else {
+					m = RMATRows(rng, rows, deg, RMATClassParams[class])
+					// Keep hub rows at paper-scale fractions; see CapRowDegree.
+					m = CapRowDegree(rng, m, hubCap(m.NNZ()))
+				}
+				out = append(out, Labeled{Name: name, Class: class, M: m})
+			}
+		}
+	}
+	return out
+}
+
+// ScienceCorpus generates the SuiteSparse stand-in: a mix of banded,
+// stencil, FEM-like, road-like (RGG) and a small power-law minority, sized
+// within the configured row scales. The family mix is chosen so the corpus
+// reproduces the paper's two measured SuiteSparse biases: P_R concentrated
+// above 0.4 (Figure 7) and mostly modest average degrees (Figure 12b).
+func ScienceCorpus(cfg CorpusConfig) []Labeled {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	var out []Labeled
+	minScale, maxScale := cfg.RowScales[0], cfg.RowScales[len(cfg.RowScales)-1]
+	pick := func(i, n int) int { // spread sizes across the scale range
+		frac := float64(i) / float64(n)
+		return int(math.Round(math.Pow(2, minScale+frac*(maxScale-minScale))))
+	}
+	i := 0
+	for len(out) < cfg.SciCount {
+		kind := i % 7
+		n := pick(i%max(cfg.SciCount/2, 1), max(cfg.SciCount/2, 1))
+		var (
+			m    *matrix.CSR
+			name string
+		)
+		switch kind {
+		case 0:
+			width := 1 + i%5
+			offsets := make([]int, 0, 2*width+1)
+			for o := -width; o <= width; o++ {
+				offsets = append(offsets, o)
+			}
+			m = Banded(rng, n, offsets)
+			name = fmt.Sprintf("sci_banded%d_n%d", width, n)
+		case 1:
+			g := int(math.Sqrt(float64(n)))
+			m = Stencil2D(g, g, i%2 == 0)
+			name = fmt.Sprintf("sci_stencil2d_g%d", g)
+		case 2:
+			g := int(math.Cbrt(float64(n)))
+			m = Stencil3D(g, g, g)
+			name = fmt.Sprintf("sci_stencil3d_g%d", g)
+		case 3:
+			bs := 4 + i%8
+			m = FEMLike(rng, n, bs, 2+i%4)
+			name = fmt.Sprintf("sci_fem_b%d_n%d", bs, n)
+		case 4:
+			m = RGG(rng, n, 4+float64(i%8))
+			name = fmt.Sprintf("sci_road_n%d", n)
+		case 5:
+			maxDeg := 4 + 2*(i%3)
+			m = IrregularBanded(rng, n, maxDeg, 8+n/64)
+			name = fmt.Sprintf("sci_irregular%d_n%d", maxDeg, n)
+		default:
+			if i%18 == 5 { // small power-law minority, as in SuiteSparse
+				m = PowerLawRows(rng, n, 2.1, 256)
+				name = fmt.Sprintf("sci_powerlaw_n%d", n)
+			} else {
+				m = Banded(rng, n, []int{-n / 8, -1, 0, 1, n / 8})
+				name = fmt.Sprintf("sci_bandedfar_n%d", n)
+			}
+		}
+		if int64(m.NNZ()) <= cfg.MaxNNZ {
+			out = append(out, Labeled{Name: name, Class: ClassSci, M: m})
+		}
+		i++
+	}
+	return out
+}
+
+// Corpus generates the full training/evaluation corpus: science-like plus
+// random matrices, as in the paper's Section 5 (136 + 1,326, scaled).
+func Corpus(cfg CorpusConfig) []Labeled {
+	out := ScienceCorpus(cfg)
+	return append(out, RandomCorpus(cfg)...)
+}
+
+// hubCap is the per-row degree cap for scaled RMAT matrices: 0.2% of the
+// nonzeros, the hub fraction of a paper-scale (2^23-row) Graph500 matrix.
+func hubCap(nnz int) int {
+	cap := nnz / 500
+	if cap < 32 {
+		cap = 32
+	}
+	return cap
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

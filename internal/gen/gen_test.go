@@ -1,0 +1,537 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wise/internal/stats"
+)
+
+func TestRMATParamsValidate(t *testing.T) {
+	for name, p := range map[string]RMATParams{
+		"HS": HighSkew, "MS": MedSkew, "LS": LowSkew,
+		"LL": LowLoc, "ML": MedLoc, "HL": HighLoc,
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := (RMATParams{A: 0.5, B: 0.5, C: 0.5, D: 0.5}).Validate(); err == nil {
+		t.Error("sum>1 accepted")
+	}
+	if err := (RMATParams{A: -0.1, B: 0.5, C: 0.3, D: 0.3}).Validate(); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestRMATShapeAndDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RMAT(rng, 10, 8, LowLoc)
+	if m.Rows != 1024 || m.Cols != 1024 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(m.NNZ()) / float64(m.Rows)
+	if avg < 6 || avg > 8.01 {
+		t.Errorf("avg degree %v, want near 8 (minus duplicate collapse)", avg)
+	}
+}
+
+func TestRMATSkewOrdering(t *testing.T) {
+	// Higher 'a' parameter must yield lower P_R (more skew).
+	rng := rand.New(rand.NewSource(2))
+	pr := map[string]float64{}
+	for name, p := range map[string]RMATParams{"HS": HighSkew, "MS": MedSkew, "LS": LowSkew} {
+		m := RMAT(rng, 12, 16, p)
+		pr[name] = stats.PRatio(m.RowCounts())
+	}
+	if !(pr["HS"] < pr["MS"] && pr["MS"] < pr["LS"]) {
+		t.Errorf("skew ordering violated: %v", pr)
+	}
+	// Paper: P_R of HS/MS/LS is ~0.1/0.2/0.3.
+	if pr["HS"] > 0.2 {
+		t.Errorf("HS P_R = %v, want near 0.1", pr["HS"])
+	}
+	if pr["LS"] < 0.2 || pr["LS"] > 0.42 {
+		t.Errorf("LS P_R = %v, want near 0.3", pr["LS"])
+	}
+}
+
+func TestRMATLocalityClassesBalanced(t *testing.T) {
+	// Paper: LL/ML/HL classes have P_R in 0.4-0.5 (little skew).
+	rng := rand.New(rand.NewSource(3))
+	for name, p := range map[string]RMATParams{"LL": LowLoc, "ML": MedLoc, "HL": HighLoc} {
+		m := RMAT(rng, 12, 16, p)
+		pr := stats.PRatio(m.RowCounts())
+		if pr < 0.33 || pr > 0.51 {
+			t.Errorf("%s P_R = %v, want in [0.35,0.5]", name, pr)
+		}
+	}
+}
+
+func TestRMATLocalityDiagonalConcentration(t *testing.T) {
+	// HighLoc must put a larger nonzero fraction near the diagonal than LowLoc.
+	rng := rand.New(rand.NewSource(4))
+	frac := func(p RMATParams) float64 {
+		m := RMAT(rng, 12, 16, p)
+		band := m.Rows / 8
+		near := 0
+		for i := 0; i < m.Rows; i++ {
+			cols, _ := m.Row(i)
+			for _, c := range cols {
+				d := int(c) - i
+				if d < 0 {
+					d = -d
+				}
+				if d <= band {
+					near++
+				}
+			}
+		}
+		return float64(near) / float64(m.NNZ())
+	}
+	ll, hl := frac(LowLoc), frac(HighLoc)
+	if hl <= ll+0.1 {
+		t.Errorf("HighLoc diag fraction %v not clearly above LowLoc %v", hl, ll)
+	}
+}
+
+func TestRMATRowsNonPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := 1500
+	m := RMATRows(rng, rows, 6, MedSkew)
+	if m.Rows != rows || m.Cols != rows {
+		t.Fatalf("shape %dx%d, want %d", m.Rows, m.Cols, rows)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestRMATPanicsOnBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for name, fn := range map[string]func(){
+		"bad params": func() { RMAT(rng, 5, 4, RMATParams{A: 1, B: 1, C: 1, D: 1}) },
+		"bad scale":  func() { RMAT(rng, -1, 4, LowLoc) },
+		"bad rows":   func() { RMATRows(rng, 0, 4, LowLoc) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRGGDegreeAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 4096
+	deg := 8.0
+	m := RGG(rng, n, deg)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(m.NNZ()) / float64(n)
+	// Boundary effects reduce the expected degree somewhat.
+	if avg < deg*0.5 || avg > deg*1.3 {
+		t.Errorf("RGG avg degree %v, want near %v", avg, deg)
+	}
+	if !m.Equal(m.Transpose()) {
+		t.Error("RGG adjacency not symmetric")
+	}
+}
+
+func TestRGGLocality(t *testing.T) {
+	// Cell-major vertex ordering should concentrate edges near the diagonal.
+	rng := rand.New(rand.NewSource(8))
+	n := 4096
+	m := RGG(rng, n, 8)
+	band := n / 4
+	near := 0
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for _, c := range cols {
+			d := int(c) - i
+			if d < 0 {
+				d = -d
+			}
+			if d <= band {
+				near++
+			}
+		}
+	}
+	if frac := float64(near) / float64(m.NNZ()); frac < 0.6 {
+		t.Errorf("RGG near-diagonal fraction %v, want >= 0.6", frac)
+	}
+}
+
+func TestRGGBalancedRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := RGG(rng, 2048, 8)
+	pr := stats.PRatio(m.RowCounts())
+	if pr < 0.35 {
+		t.Errorf("RGG P_R = %v, want balanced (>= 0.35)", pr)
+	}
+}
+
+func TestBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := Banded(rng, 100, []int{-1, 0, 1})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3*100-2 {
+		t.Errorf("tridiagonal nnz = %d, want 298", m.NNZ())
+	}
+}
+
+func TestStencil2D(t *testing.T) {
+	m := Stencil2D(10, 10, false)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 100 {
+		t.Fatalf("rows = %d", m.Rows)
+	}
+	// Interior rows have 5 nonzeros.
+	if got := m.RowNNZ(5*10 + 5); got != 5 {
+		t.Errorf("interior row nnz = %d, want 5", got)
+	}
+	// Corner rows have 3.
+	if got := m.RowNNZ(0); got != 3 {
+		t.Errorf("corner row nnz = %d, want 3", got)
+	}
+	m9 := Stencil2D(10, 10, true)
+	if got := m9.RowNNZ(5*10 + 5); got != 9 {
+		t.Errorf("9-point interior nnz = %d", got)
+	}
+	if !m.Equal(m.Transpose()) {
+		t.Error("stencil not symmetric")
+	}
+}
+
+func TestStencil3D(t *testing.T) {
+	m := Stencil3D(6, 6, 6)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	center := (3*6+3)*6 + 3
+	if got := m.RowNNZ(center); got != 7 {
+		t.Errorf("3D interior nnz = %d, want 7", got)
+	}
+}
+
+func TestFEMLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := FEMLike(rng, 512, 8, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pr := stats.PRatio(m.RowCounts())
+	if pr < 0.35 {
+		t.Errorf("FEM P_R = %v, want balanced", pr)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := Uniform(rng, 1000, 8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(m.NNZ()) / 1000
+	if avg < 7 || avg > 8.01 {
+		t.Errorf("uniform avg degree %v", avg)
+	}
+}
+
+func TestPowerLawRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := PowerLawRows(rng, 2048, 2.0, 512)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pr := stats.PRatio(m.RowCounts())
+	if pr > 0.35 {
+		t.Errorf("power-law P_R = %v, want skewed (< 0.35)", pr)
+	}
+}
+
+func TestRandomCorpusCoverage(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{8, 9},
+		Degrees:   []float64{4, 8},
+		MaxNNZ:    1 << 20,
+		SciCount:  6,
+	}
+	random := RandomCorpus(cfg)
+	if len(random) != 7*2*2 {
+		t.Fatalf("random corpus size = %d, want 28", len(random))
+	}
+	classes := map[Class]int{}
+	for _, l := range random {
+		classes[l.Class]++
+		if err := l.M.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if l.M.NNZ() == 0 {
+			t.Fatalf("%s: empty matrix", l.Name)
+		}
+	}
+	for _, c := range []Class{ClassHS, ClassMS, ClassLS, ClassLL, ClassML, ClassHL, ClassRGG} {
+		if classes[c] != 4 {
+			t.Errorf("class %s count = %d, want 4", c, classes[c])
+		}
+	}
+}
+
+func TestRandomCorpusRespectsNNZCap(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{10},
+		Degrees:   []float64{4, 1024},
+		MaxNNZ:    1 << 13, // only degree 4 fits (1024*4 = 4096)
+		SciCount:  0,
+	}
+	random := RandomCorpus(cfg)
+	if len(random) != 7 {
+		t.Fatalf("cap not applied: %d matrices", len(random))
+	}
+	for _, l := range random {
+		if int64(l.M.NNZ()) > cfg.MaxNNZ {
+			t.Errorf("%s exceeds cap: %d", l.Name, l.M.NNZ())
+		}
+	}
+}
+
+func TestScienceCorpusBias(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{8, 10},
+		Degrees:   []float64{4},
+		MaxNNZ:    1 << 22,
+		SciCount:  36,
+	}
+	sci := ScienceCorpus(cfg)
+	if len(sci) != 36 {
+		t.Fatalf("science corpus size = %d", len(sci))
+	}
+	// Paper Figure 7: most science matrices have P_R > 0.4.
+	balanced := 0
+	for _, l := range sci {
+		if err := l.M.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if stats.PRatio(l.M.RowCounts()) > 0.4 {
+			balanced++
+		}
+	}
+	if frac := float64(balanced) / float64(len(sci)); frac < 0.7 {
+		t.Errorf("science corpus balanced fraction = %v, want >= 0.7 (Fig 7 bias)", frac)
+	}
+}
+
+func TestCorpusCombined(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed:      2,
+		RowScales: []float64{8},
+		Degrees:   []float64{4},
+		MaxNNZ:    1 << 20,
+		SciCount:  6,
+	}
+	all := Corpus(cfg)
+	if len(all) != 6+7 {
+		t.Fatalf("combined corpus size = %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, l := range all {
+		if names[l.Name] {
+			t.Errorf("duplicate corpus name %q", l.Name)
+		}
+		names[l.Name] = true
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed:      7,
+		RowScales: []float64{8},
+		Degrees:   []float64{4},
+		MaxNNZ:    1 << 20,
+		SciCount:  3,
+	}
+	a, b := Corpus(cfg), Corpus(cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic corpus size")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !a[i].M.Equal(b[i].M) {
+			t.Fatalf("corpus nondeterministic at %d (%s)", i, a[i].Name)
+		}
+	}
+}
+
+func TestFractionalRowScale(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{8.58},
+		Degrees:   []float64{4},
+		MaxNNZ:    1 << 20,
+		SciCount:  0,
+	}
+	random := RandomCorpus(cfg)
+	wantRows := int(math.Round(math.Pow(2, 8.58)))
+	for _, l := range random {
+		if l.M.Rows != wantRows {
+			t.Errorf("%s rows = %d, want %d", l.Name, l.M.Rows, wantRows)
+		}
+	}
+}
+
+func TestDefaultAndFullConfigs(t *testing.T) {
+	d, f := DefaultCorpusConfig(), FullCorpusConfig()
+	if len(d.RowScales) == 0 || len(d.Degrees) == 0 || d.SciCount == 0 {
+		t.Error("default config empty")
+	}
+	if len(f.RowScales) <= len(d.RowScales) || f.SciCount <= d.SciCount {
+		t.Error("full config should be larger than default")
+	}
+	if f.SciCount != 136 {
+		t.Errorf("full science count = %d, want the paper's 136", f.SciCount)
+	}
+}
+
+func TestIrregularBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := IrregularBanded(rng, 1000, 6, 16)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := m.RowCounts()
+	var min, max int64 = 1 << 30, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min < 1 {
+		t.Error("row without diagonal")
+	}
+	if max <= min+2 {
+		t.Errorf("rows not irregular: min %d max %d", min, max)
+	}
+	// Stays near the diagonal.
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for _, c := range cols {
+			d := int(c) - i
+			if d < 0 {
+				d = -d
+			}
+			if d > 16 {
+				t.Fatalf("entry (%d,%d) outside band", i, c)
+			}
+		}
+	}
+}
+
+func TestIrregularBandedClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := IrregularBanded(rng, 10, 0, 0)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() < 10 {
+		t.Error("diagonal missing")
+	}
+}
+
+func TestCapRowDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := RMAT(rng, 10, 16, HighSkew)
+	nnzBefore := m.NNZ()
+	cap := 64
+	capped := CapRowDegree(rng, m, cap)
+	if err := capped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < capped.Rows; i++ {
+		if capped.RowNNZ(i) > cap+capped.Rows/8 {
+			// Reassigned entries can land on already-full rows; allow slack
+			// but catch gross violations.
+			t.Fatalf("row %d still has %d nonzeros after cap %d", i, capped.RowNNZ(i), cap)
+		}
+	}
+	// Nonzeros are conserved up to duplicate collapse.
+	if capped.NNZ() > nnzBefore {
+		t.Error("cap created nonzeros")
+	}
+	if capped.NNZ() < nnzBefore*9/10 {
+		t.Errorf("cap destroyed too many nonzeros: %d -> %d", nnzBefore, capped.NNZ())
+	}
+	// Column distribution unchanged in total.
+	var colsBefore, colsAfter int64
+	for _, c := range m.ColCounts() {
+		colsBefore += c
+	}
+	for _, c := range capped.ColCounts() {
+		colsAfter += c
+	}
+	if colsAfter > colsBefore {
+		t.Error("column mass grew")
+	}
+}
+
+func TestCapRowDegreeNoopWhenUnderCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := Banded(rng, 100, []int{-1, 0, 1})
+	capped := CapRowDegree(rng, m, 10)
+	if !capped.Equal(m) {
+		t.Error("cap modified an already-compliant matrix")
+	}
+}
+
+func TestScienceCorpusIncludesIrregularFamily(t *testing.T) {
+	cfg := CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{8, 10},
+		Degrees:   []float64{4},
+		MaxNNZ:    1 << 22,
+		SciCount:  28,
+	}
+	sci := ScienceCorpus(cfg)
+	found := false
+	for _, l := range sci {
+		if len(l.Name) >= 13 && l.Name[:13] == "sci_irregular" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("irregular family missing from science corpus")
+	}
+}
+
+func TestMediumCorpusConfig(t *testing.T) {
+	m := MediumCorpusConfig()
+	d := DefaultCorpusConfig()
+	f := FullCorpusConfig()
+	if len(m.RowScales)*len(m.Degrees) <= len(d.RowScales)*len(d.Degrees) {
+		t.Error("medium not larger than default")
+	}
+	if len(m.RowScales)*len(m.Degrees) >= len(f.RowScales)*len(f.Degrees) {
+		t.Error("medium not smaller than full")
+	}
+}

@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"wise/internal/matrix"
+)
+
+// RGG generates a random geometric graph: n vertices placed uniformly at
+// random in the 2D unit square, with an edge between every pair at Euclidean
+// distance below r = sqrt(degree / (n * pi)), the radius that yields the
+// requested expected average degree (paper Section 4.5). The adjacency
+// matrix is symmetric with unit values and no self loops.
+//
+// Vertices are sorted by grid cell (a space-filling row-major cell order)
+// before ids are assigned, which mirrors the high spatial locality of
+// road-network-style matrices: neighbours in space get nearby indices.
+func RGG(rng *rand.Rand, n int, degree float64) *matrix.CSR {
+	if n <= 0 {
+		panic("gen: RGG needs n > 0")
+	}
+	r := math.Sqrt(degree / (float64(n) * math.Pi))
+	if r > 1 {
+		r = 1
+	}
+	type point struct{ x, y float64 }
+	pts := make([]point, n)
+	for i := range pts {
+		pts[i] = point{rng.Float64(), rng.Float64()}
+	}
+
+	// Bucket vertices into a grid with cell size >= r so neighbours are in
+	// the 3x3 cell neighbourhood.
+	cells := int(1 / r)
+	if cells < 1 {
+		cells = 1
+	}
+	if cells > 4096 {
+		cells = 4096
+	}
+	cellSize := 1.0 / float64(cells)
+	cellOf := func(p point) (int, int) {
+		cx := int(p.x / cellSize)
+		cy := int(p.y / cellSize)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+
+	// Assign ids in cell-major order for spatial locality.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) int {
+		cx, cy := cellOf(pts[i])
+		return cy*cells + cx
+	}
+	sortByKey(order, key)
+	id := make([]int32, n) // original index -> new id
+	for newID, orig := range order {
+		id[orig] = int32(newID)
+	}
+
+	buckets := make([][]int32, cells*cells)
+	for i, p := range pts {
+		cx, cy := cellOf(p)
+		buckets[cy*cells+cx] = append(buckets[cy*cells+cx], int32(i))
+	}
+
+	coo := matrix.NewCOO(n, n)
+	r2 := r * r
+	for cy := 0; cy < cells; cy++ {
+		for cx := 0; cx < cells; cx++ {
+			for _, i := range buckets[cy*cells+cx] {
+				// Scan the 3x3 neighbourhood; emit each undirected edge once
+				// (i < j) and mirror it.
+				for dy := -1; dy <= 1; dy++ {
+					ny := cy + dy
+					if ny < 0 || ny >= cells {
+						continue
+					}
+					for dx := -1; dx <= 1; dx++ {
+						nx := cx + dx
+						if nx < 0 || nx >= cells {
+							continue
+						}
+						for _, j := range buckets[ny*cells+nx] {
+							if j <= i {
+								continue
+							}
+							ddx := pts[i].x - pts[j].x
+							ddy := pts[i].y - pts[j].y
+							if ddx*ddx+ddy*ddy <= r2 {
+								coo.Add(id[i], id[j], 1)
+								coo.Add(id[j], id[i], 1)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// sortByKey stably sorts order ascending by key(order[i]).
+func sortByKey(order []int, key func(int) int) {
+	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) < key(order[b]) })
+}

@@ -1,0 +1,201 @@
+// Package graph implements the SpMV-driven graph analytics the WISE paper
+// motivates with (Section 1 cites PageRank [7] and HITS [20] as canonical
+// iterative SpMV consumers): PageRank with damping and dangling-mass
+// handling, HITS hub/authority scoring, and SpMV-based BFS level counting.
+// Every algorithm takes its SpMV as an operator, so a WISE-selected format
+// plugs in directly.
+package graph
+
+import (
+	"errors"
+	"math"
+
+	"wise/internal/matrix"
+	"wise/internal/solvers"
+)
+
+// Graph wraps a directed adjacency matrix (adj[u][v] != 0 means an edge
+// u -> v) with the derived structures the algorithms need.
+type Graph struct {
+	Adj    *matrix.CSR
+	AdjT   *matrix.CSR // transpose, built lazily
+	OutDeg []int64
+}
+
+// New builds a Graph from an adjacency matrix. The matrix must be square.
+func New(adj *matrix.CSR) (*Graph, error) {
+	if adj.Rows != adj.Cols {
+		return nil, errors.New("graph: adjacency matrix must be square")
+	}
+	return &Graph{Adj: adj, OutDeg: adj.RowCounts()}, nil
+}
+
+// Transpose returns (building once) the reverse adjacency matrix.
+func (g *Graph) Transpose() *matrix.CSR {
+	if g.AdjT == nil {
+		g.AdjT = g.Adj.Transpose()
+	}
+	return g.AdjT
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.Adj.Rows }
+
+// TransitionOperator returns the column-stochastic PageRank operator
+// y = M^T x with M[u][v] = 1/outdeg(u) for each edge u -> v, as a CSR
+// matrix, so callers can hand it to WISE for format selection.
+func (g *Graph) TransitionOperator() *matrix.CSR {
+	n := g.N()
+	coo := matrix.NewCOO(n, n)
+	for u := 0; u < n; u++ {
+		cols, _ := g.Adj.Row(u)
+		if len(cols) == 0 {
+			continue
+		}
+		w := 1 / float64(len(cols))
+		for _, v := range cols {
+			coo.Add(v, int32(u), w)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// PageRankResult reports the ranking outcome.
+type PageRankResult struct {
+	Ranks      []float64
+	Iterations int
+	Delta      float64 // final L1 change
+	Converged  bool
+}
+
+// PageRank computes damped PageRank with uniform teleport and uniform
+// redistribution of dangling mass. op must apply the transition operator
+// (y = M^T x, see TransitionOperator); outDeg identifies dangling vertices.
+func PageRank(op solvers.Operator, outDeg []int64, damping, tol float64, maxIter int) PageRankResult {
+	n := len(outDeg)
+	r := make([]float64, n)
+	next := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	res := PageRankResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		var dangling float64
+		for i := range r {
+			if outDeg[i] == 0 {
+				dangling += r[i]
+			}
+		}
+		op(next, r)
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		var delta float64
+		for i := range next {
+			v := damping*next[i] + base
+			delta += math.Abs(v - r[i])
+			next[i] = v
+		}
+		r, next = next, r
+		res.Iterations = iter + 1
+		res.Delta = delta
+		if delta < tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Ranks = r
+	return res
+}
+
+// HITSResult reports hub and authority scores.
+type HITSResult struct {
+	Hubs, Authorities []float64
+	Iterations        int
+	Converged         bool
+}
+
+// HITS computes Kleinberg's hubs-and-authorities scores by alternating
+// a = A^T h and h = A a with L2 normalization, using the two operators so a
+// WISE-selected format can back each direction.
+func HITS(forward, backward solvers.Operator, n int, tol float64, maxIter int) HITSResult {
+	hubs := make([]float64, n)
+	auths := make([]float64, n)
+	prevAuth := make([]float64, n)
+	for i := range hubs {
+		hubs[i] = 1 / math.Sqrt(float64(n))
+	}
+	res := HITSResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		copy(prevAuth, auths)
+		backward(auths, hubs) // a = A^T h
+		normalizeL2(auths)
+		forward(hubs, auths) // h = A a
+		normalizeL2(hubs)
+		res.Iterations = iter + 1
+		var delta float64
+		for i := range auths {
+			delta += math.Abs(auths[i] - prevAuth[i])
+		}
+		if delta < tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Hubs = hubs
+	res.Authorities = auths
+	return res
+}
+
+func normalizeL2(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// BFSLevels computes the BFS level of every vertex from source using the
+// linear-algebra formulation: the frontier indicator is multiplied by A^T
+// each step (y[v] > 0 iff some frontier vertex points to v). Unreached
+// vertices get level -1.
+func BFSLevels(g *Graph, source int) []int {
+	n := g.N()
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if source < 0 || source >= n {
+		return levels
+	}
+	at := g.Transpose()
+	frontier := make([]float64, n)
+	next := make([]float64, n)
+	frontier[source] = 1
+	levels[source] = 0
+	for level := 1; level <= n; level++ {
+		at.SpMV(next, frontier)
+		advanced := false
+		for v := range next {
+			if next[v] > 0 && levels[v] == -1 {
+				levels[v] = level
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
+		for v := range frontier {
+			if levels[v] == level {
+				frontier[v] = 1
+			} else {
+				frontier[v] = 0
+			}
+		}
+	}
+	return levels
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/matrix"
+	"wise/internal/solvers"
+)
+
+// chain builds the directed path 0 -> 1 -> 2 -> ... -> n-1.
+func chain(n int) *Graph {
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n-1; i++ {
+		coo.Add(int32(i), int32(i+1), 1)
+	}
+	g, _ := New(coo.ToCSR())
+	return g
+}
+
+func TestNewRejectsRectangular(t *testing.T) {
+	if _, err := New(matrix.FromDense(2, 3, make([]float64, 6))); err == nil {
+		t.Fatal("rectangular adjacency accepted")
+	}
+}
+
+func TestTransitionOperatorColumnStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := New(gen.RMAT(rng, 8, 4, gen.MedSkew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := g.TransitionOperator()
+	// Columns of M^T (rows of M) sum to 1 for non-dangling vertices: apply
+	// to the all-ones vector from the left by checking column sums directly.
+	colSums := make([]float64, mt.Cols)
+	for i := 0; i < mt.Rows; i++ {
+		cols, vals := mt.Row(i)
+		for k := range cols {
+			colSums[cols[k]] += vals[k]
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		want := 1.0
+		if g.OutDeg[u] == 0 {
+			want = 0
+		}
+		if math.Abs(colSums[u]-want) > 1e-9 {
+			t.Fatalf("column %d sums to %v, want %v", u, colSums[u], want)
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every vertex has identical rank 1/n.
+	n := 64
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(int32(i), int32((i+1)%n), 1)
+	}
+	g, _ := New(coo.ToCSR())
+	mt := g.TransitionOperator()
+	res := PageRank(solvers.FromCSR(mt), g.OutDeg, 0.85, 1e-12, 500)
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i, r := range res.Ranks {
+		if math.Abs(r-1.0/float64(n)) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want uniform", i, r)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, _ := New(gen.RMAT(rng, 9, 6, gen.HighSkew))
+	mt := g.TransitionOperator()
+	res := PageRank(solvers.FromCSR(mt), g.OutDeg, 0.85, 1e-10, 500)
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+}
+
+func TestPageRankHubGetsHighRank(t *testing.T) {
+	// A star pointing into vertex 0: vertex 0 must have the top rank.
+	n := 50
+	coo := matrix.NewCOO(n, n)
+	for i := 1; i < n; i++ {
+		coo.Add(int32(i), 0, 1)
+	}
+	g, _ := New(coo.ToCSR())
+	mt := g.TransitionOperator()
+	res := PageRank(solvers.FromCSR(mt), g.OutDeg, 0.85, 1e-12, 500)
+	for i := 1; i < n; i++ {
+		if res.Ranks[0] <= res.Ranks[i] {
+			t.Fatalf("hub rank %v not above leaf rank %v", res.Ranks[0], res.Ranks[i])
+		}
+	}
+}
+
+func TestPageRankThroughWISEFormat(t *testing.T) {
+	// PageRank must give identical results through any built format.
+	rng := rand.New(rand.NewSource(3))
+	g, _ := New(gen.RMAT(rng, 9, 8, gen.HighSkew))
+	mt := g.TransitionOperator()
+	ref := PageRank(solvers.FromCSR(mt), g.OutDeg, 0.85, 1e-12, 300)
+	pack := kernels.BuildSRVPack(mt, kernels.Method{Kind: kernels.LAV, C: 8, T: 0.8, Sched: kernels.Dyn})
+	got := PageRank(solvers.FromFormat(pack, 2), g.OutDeg, 0.85, 1e-12, 300)
+	if got.Iterations != ref.Iterations {
+		t.Errorf("iterations differ: %d vs %d", got.Iterations, ref.Iterations)
+	}
+	if matrix.MaxAbsDiff(ref.Ranks, got.Ranks) > 1e-9 {
+		t.Error("ranks differ across formats")
+	}
+}
+
+func TestHITSBipartiteStar(t *testing.T) {
+	// Vertices 1..4 all point to vertex 0: vertex 0 is the pure authority,
+	// the pointers are the hubs.
+	n := 5
+	coo := matrix.NewCOO(n, n)
+	for i := 1; i < n; i++ {
+		coo.Add(int32(i), 0, 1)
+	}
+	g, _ := New(coo.ToCSR())
+	adj, adjT := g.Adj, g.Transpose()
+	res := HITS(solvers.FromCSR(adj), solvers.FromCSR(adjT), n, 1e-12, 200)
+	if !res.Converged {
+		t.Fatalf("HITS did not converge")
+	}
+	if math.Abs(res.Authorities[0]-1) > 1e-6 {
+		t.Errorf("authority[0] = %v, want 1", res.Authorities[0])
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(res.Hubs[i]-0.5) > 1e-6 { // 4 equal hubs, L2-normalized
+			t.Errorf("hub[%d] = %v, want 0.5", i, res.Hubs[i])
+		}
+	}
+	if res.Hubs[0] > 1e-9 {
+		t.Errorf("authority vertex has hub score %v", res.Hubs[0])
+	}
+}
+
+func TestBFSLevelsChain(t *testing.T) {
+	g := chain(6)
+	levels := BFSLevels(g, 0)
+	for i, l := range levels {
+		if l != i {
+			t.Fatalf("level[%d] = %d, want %d", i, l, i)
+		}
+	}
+	// From the middle: everything before is unreachable.
+	levels = BFSLevels(g, 3)
+	want := []int{-1, -1, -1, 0, 1, 2}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels from 3 = %v", levels)
+		}
+	}
+}
+
+func TestBFSLevelsDisconnected(t *testing.T) {
+	coo := matrix.NewCOO(4, 4)
+	coo.Add(0, 1, 1)
+	g, _ := New(coo.ToCSR())
+	levels := BFSLevels(g, 0)
+	if levels[0] != 0 || levels[1] != 1 || levels[2] != -1 || levels[3] != -1 {
+		t.Errorf("levels = %v", levels)
+	}
+	if l := BFSLevels(g, -1); l[0] != -1 {
+		t.Error("invalid source should reach nothing")
+	}
+}
+
+func TestBFSMatchesQueueBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, _ := New(gen.RMAT(rng, 8, 4, gen.LowLoc))
+	got := BFSLevels(g, 0)
+	want := queueBFS(g.Adj, 0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: SpMV BFS %d vs queue BFS %d", i, got[i], want[i])
+		}
+	}
+}
+
+func queueBFS(adj *matrix.CSR, source int) []int {
+	levels := make([]int, adj.Rows)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		cols, _ := adj.Row(u)
+		for _, v := range cols {
+			if levels[v] == -1 {
+				levels[v] = levels[u] + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return levels
+}

@@ -1,0 +1,69 @@
+package kernels
+
+import (
+	"fmt"
+
+	"wise/internal/matrix"
+)
+
+// CSRFormat executes SpMV directly on CSR storage with one of the three
+// row-scheduling policies of Section 2.1. Work units are blocks of RowBlock
+// consecutive rows (the paper's K).
+type CSRFormat struct {
+	M        *matrix.CSR
+	Sched    Sched
+	RowBlock int
+}
+
+// BuildCSRFormat wraps a CSR matrix for scheduled execution. rowBlock <= 0
+// selects a default of 64 rows per unit.
+func BuildCSRFormat(m *matrix.CSR, sched Sched, rowBlock int) *CSRFormat {
+	if rowBlock <= 0 {
+		rowBlock = 64
+	}
+	return &CSRFormat{M: m, Sched: sched, RowBlock: rowBlock}
+}
+
+// SpMV computes y = A*x sequentially.
+func (f *CSRFormat) SpMV(y, x []float64) { f.SpMVParallel(y, x, 1) }
+
+// SpMVParallel computes y = A*x with the format's scheduling policy.
+//
+// For Dyn and St, units are RowBlock-row blocks claimed dynamically or
+// round-robin. For StCont, the row range is divided into one contiguous span
+// per worker, regardless of RowBlock (the paper's "divides the rows by the
+// number of threads").
+func (f *CSRFormat) SpMVParallel(y, x []float64, workers int) {
+	m := f.M
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("kernels: SpMV dims y[%d]=A[%dx%d]*x[%d]", len(y), m.Rows, m.Cols, len(x)))
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	rowSpan := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rp, rq := m.RowPtr[i], m.RowPtr[i+1]
+			var acc float64
+			for k := rp; k < rq; k++ {
+				acc += m.Vals[k] * x[m.ColIdx[k]]
+			}
+			y[i] = acc
+		}
+	}
+	if f.Sched == StCont {
+		parallelUnits(workers, workers, StCont, func(w int) {
+			rowSpan(w*m.Rows/workers, (w+1)*m.Rows/workers)
+		})
+		return
+	}
+	blocks := (m.Rows + f.RowBlock - 1) / f.RowBlock
+	parallelUnits(workers, blocks, f.Sched, func(b int) {
+		lo := b * f.RowBlock
+		hi := lo + f.RowBlock
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		rowSpan(lo, hi)
+	})
+}

@@ -1,0 +1,221 @@
+// Package kernels implements every SpMV method of the WISE paper (Table 1):
+// CSR with three scheduling policies, SELLPACK, Sell-c-sigma, Sell-c-R,
+// LAV-1Seg, and LAV — all built on the unified SRVPack representation of the
+// paper's Appendix A — together with the RFS and CFS reorderings and
+// parallel executors.
+package kernels
+
+import (
+	"fmt"
+
+	"wise/internal/machine"
+)
+
+// Sched is a row-scheduling policy (paper Section 2.1).
+type Sched int
+
+// Scheduling policies.
+const (
+	Dyn    Sched = iota // dynamic: work units claimed via shared counter
+	St                  // static: work units assigned round-robin
+	StCont              // static contiguous: equal contiguous spans per thread
+)
+
+func (s Sched) String() string {
+	switch s {
+	case Dyn:
+		return "Dyn"
+	case St:
+		return "St"
+	case StCont:
+		return "StCont"
+	default:
+		return fmt.Sprintf("Sched(%d)", int(s))
+	}
+}
+
+// Kind identifies an SpMV method family.
+type Kind int
+
+// Method families, ordered by preprocessing cost — the paper's tie-breaking
+// order in Section 4.4 (CSR < SELLPACK < Sell-c-sigma < Sell-c-R < LAV-1Seg
+// < LAV).
+const (
+	CSR Kind = iota
+	SELLPACK
+	SellCSigma
+	SellCR
+	LAV1Seg
+	LAV
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CSR:
+		return "CSR"
+	case SELLPACK:
+		return "SELLPACK"
+	case SellCSigma:
+		return "Sell-c-sigma"
+	case SellCR:
+		return "Sell-c-R"
+	case LAV1Seg:
+		return "LAV-1Seg"
+	case LAV:
+		return "LAV"
+	case SegCSRKind:
+		return "SegCSR"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Method is a fully parameterized {method, parameter} pair — one WISE
+// performance model exists per Method value.
+type Method struct {
+	Kind  Kind
+	Sched Sched
+	C     int     // chunk size (vector lanes); 0 for CSR
+	Sigma int     // sort window; Sell-c-sigma only
+	T     float64 // dense-segment nonzero fraction; LAV only
+}
+
+func (m Method) String() string {
+	switch m.Kind {
+	case CSR:
+		return fmt.Sprintf("CSR[%s]", m.Sched)
+	case SELLPACK:
+		return fmt.Sprintf("SELLPACK[c=%d,%s]", m.C, m.Sched)
+	case SellCSigma:
+		return fmt.Sprintf("Sell-c-sigma[c=%d,sigma=%d,%s]", m.C, m.Sigma, m.Sched)
+	case SellCR:
+		return fmt.Sprintf("Sell-c-R[c=%d]", m.C)
+	case LAV1Seg:
+		return fmt.Sprintf("LAV-1Seg[c=%d]", m.C)
+	case LAV:
+		return fmt.Sprintf("LAV[c=%d,T=%.0f%%]", m.C, m.T*100)
+	case SegCSRKind:
+		return fmt.Sprintf("SegCSR[w=%d,%s]", m.C, m.Sched)
+	default:
+		return m.Kind.String()
+	}
+}
+
+// Validate checks parameter consistency for the method family.
+func (m Method) Validate() error {
+	switch m.Kind {
+	case CSR:
+		if m.C != 0 || m.Sigma != 0 || m.T != 0 {
+			return fmt.Errorf("kernels: CSR takes no c/sigma/T, got %+v", m)
+		}
+	case SELLPACK:
+		if m.C < 1 {
+			return fmt.Errorf("kernels: SELLPACK needs c >= 1")
+		}
+		if m.Sched == St {
+			return fmt.Errorf("kernels: SELLPACK uses StCont or Dyn scheduling")
+		}
+	case SellCSigma:
+		if m.C < 1 || m.Sigma < m.C {
+			return fmt.Errorf("kernels: Sell-c-sigma needs c >= 1 and sigma >= c, got %+v", m)
+		}
+		if m.Sched == St {
+			return fmt.Errorf("kernels: Sell-c-sigma uses StCont or Dyn scheduling")
+		}
+	case SellCR, LAV1Seg:
+		if m.C < 1 {
+			return fmt.Errorf("kernels: %s needs c >= 1", m.Kind)
+		}
+		if m.Sched != Dyn {
+			return fmt.Errorf("kernels: %s uses Dyn scheduling only", m.Kind)
+		}
+	case LAV:
+		if m.C < 1 {
+			return fmt.Errorf("kernels: LAV needs c >= 1")
+		}
+		if m.T <= 0 || m.T >= 1 {
+			return fmt.Errorf("kernels: LAV needs T in (0,1), got %v", m.T)
+		}
+		if m.Sched != Dyn {
+			return fmt.Errorf("kernels: LAV uses Dyn scheduling only")
+		}
+	case SegCSRKind:
+		if m.C < 1 {
+			return fmt.Errorf("kernels: SegCSR needs a column window >= 1 in C")
+		}
+		if m.Sigma != 0 || m.T != 0 {
+			return fmt.Errorf("kernels: SegCSR takes no sigma/T")
+		}
+	default:
+		return fmt.Errorf("kernels: unknown method kind %d", m.Kind)
+	}
+	return nil
+}
+
+// PreprocessRank orders methods by preprocessing cost for the paper's
+// Section 4.4 tie-breaking. Lower is cheaper. Within a family, smaller
+// parameters rank first. The SegCSR extension ranks between SELLPACK and
+// Sell-c-sigma: its conversion is a single sort-free pass over the nonzeros.
+func (m Method) PreprocessRank() int {
+	kindRank := int(m.Kind) * 2
+	if m.Kind == SegCSRKind {
+		kindRank = int(SELLPACK)*2 + 1
+	}
+	rank := kindRank * 1_000_000
+	param := m.C*10_000 + m.Sigma + int(m.T*100)
+	if m.Kind == CSR {
+		param += int(m.Sched) // Dyn/St/StCont considered equally cheap; keep deterministic
+	}
+	if param > 999_999 {
+		// Large parameter values (e.g. SegCSR's LLC-sized column window)
+		// must not spill into the family component of the rank.
+		param = 999_999
+	}
+	return rank + param
+}
+
+// ModelSpace enumerates the full {method, parameter} grid of Section 4.3 for
+// a machine: 3 CSR + 4 SELLPACK + 12 Sell-c-sigma + 2 Sell-c-R + 2 LAV-1Seg
+// + 6 LAV = 29 methods.
+func ModelSpace(mach machine.Machine) []Method {
+	var out []Method
+	for _, s := range []Sched{Dyn, St, StCont} {
+		out = append(out, Method{Kind: CSR, Sched: s})
+	}
+	cs := mach.ChunkSizes()
+	sigmas := mach.SigmaValues()
+	for _, c := range cs {
+		for _, s := range []Sched{StCont, Dyn} {
+			out = append(out, Method{Kind: SELLPACK, Sched: s, C: c})
+		}
+	}
+	for _, c := range cs {
+		for _, sigma := range sigmas {
+			for _, s := range []Sched{StCont, Dyn} {
+				out = append(out, Method{Kind: SellCSigma, Sched: s, C: c, Sigma: sigma})
+			}
+		}
+	}
+	for _, c := range cs {
+		out = append(out, Method{Kind: SellCR, Sched: Dyn, C: c})
+	}
+	for _, c := range cs {
+		out = append(out, Method{Kind: LAV1Seg, Sched: Dyn, C: c})
+	}
+	for _, c := range cs {
+		for _, t := range []float64{0.7, 0.8, 0.9} {
+			out = append(out, Method{Kind: LAV, Sched: Dyn, C: c, T: t})
+		}
+	}
+	return out
+}
+
+// CSRMethods returns the three CSR scheduling variants, whose fastest member
+// is the paper's normalization baseline ("best CSR").
+func CSRMethods() []Method {
+	return []Method{
+		{Kind: CSR, Sched: Dyn},
+		{Kind: CSR, Sched: St},
+		{Kind: CSR, Sched: StCont},
+	}
+}

@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when callers pass workers <= 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelUnits runs body(unit) for every unit in [0, n) across the given
+// number of workers under the scheduling policy:
+//
+//   - Dyn: workers claim units one at a time from a shared atomic counter,
+//     the self-scheduling loop OpenMP's schedule(dynamic) uses.
+//   - St: unit u is executed by worker u % workers (round-robin).
+//   - StCont: worker w executes the contiguous span [w*n/workers, (w+1)*n/workers).
+//
+// body must be safe to call concurrently for distinct units.
+func parallelUnits(workers, n int, sched Sched, body func(unit int)) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			body(u)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	switch sched {
+	case Dyn:
+		var next int64
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					u := int(atomic.AddInt64(&next, 1)) - 1
+					if u >= n {
+						return
+					}
+					body(u)
+				}
+			}()
+		}
+	case St:
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for u := w; u < n; u += workers {
+					body(u)
+				}
+			}(w)
+		}
+	case StCont:
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				lo := w * n / workers
+				hi := (w + 1) * n / workers
+				for u := lo; u < hi; u++ {
+					body(u)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+}

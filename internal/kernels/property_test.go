@@ -1,0 +1,195 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wise/internal/machine"
+	"wise/internal/matrix"
+)
+
+// randomSpec drives quick-check generation of small random matrices.
+type randomSpec struct {
+	Rows, Cols uint8
+	Seed       int64
+	Density    uint8
+}
+
+func (s randomSpec) build() *matrix.CSR {
+	rows := int(s.Rows%60) + 1
+	cols := int(s.Cols%60) + 1
+	rng := rand.New(rand.NewSource(s.Seed))
+	nnz := int(s.Density%100) * rows * cols / 200
+	coo := matrix.NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		coo.Add(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat64())
+	}
+	return coo.ToCSR()
+}
+
+// TestQuickAllFormatsEquivalent is the quick-check form of the central
+// invariant: for arbitrary random matrices, every format computes the
+// reference product.
+func TestQuickAllFormatsEquivalent(t *testing.T) {
+	space := ModelSpace(machine.Scaled())
+	space = append(space, ExtensionMethods(64)...)
+	f := func(spec randomSpec) bool {
+		m := spec.build()
+		x := matrix.Iota(m.Cols)
+		want := make([]float64, m.Rows)
+		m.SpMV(want, x)
+		got := make([]float64, m.Rows)
+		for _, method := range space {
+			format := Build(m, method, 4)
+			format.SpMVParallel(got, x, 3)
+			if matrix.MaxAbsDiff(want, got) > 1e-9 {
+				t.Logf("method %s disagrees on %v", method, m)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPackStatsInvariants checks structural invariants of every built
+// pack on random matrices: stored = nnz + padding, padding >= 0, chunk
+// offsets monotone, row orders are permutations.
+func TestQuickPackStatsInvariants(t *testing.T) {
+	methods := []Method{
+		{Kind: SELLPACK, C: 4, Sched: Dyn},
+		{Kind: SellCSigma, C: 4, Sigma: 8, Sched: Dyn},
+		{Kind: SellCR, C: 8, Sched: Dyn},
+		{Kind: LAV1Seg, C: 4, Sched: Dyn},
+		{Kind: LAV, C: 4, T: 0.7, Sched: Dyn},
+	}
+	f := func(spec randomSpec) bool {
+		m := spec.build()
+		for _, method := range methods {
+			p := BuildSRVPack(m, method)
+			st := p.Stats()
+			if st.NNZ != int64(m.NNZ()) || st.Padding < 0 ||
+				st.StoredSlots != st.NNZ+st.Padding {
+				return false
+			}
+			for _, seg := range p.Segments {
+				if !matrix.Permutation(seg.RowOrder).Valid() {
+					return false
+				}
+				for k := 1; k < len(seg.ChunkOff); k++ {
+					if seg.ChunkOff[k] < seg.ChunkOff[k-1] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLAVSegmentsPartitionColumns: for any matrix, LAV's segments
+// cover the full column-rank space without overlap.
+func TestQuickLAVSegmentsPartitionColumns(t *testing.T) {
+	f := func(spec randomSpec) bool {
+		m := spec.build()
+		p := BuildSRVPack(m, Method{Kind: LAV, C: 4, T: 0.8, Sched: Dyn})
+		expect := int32(0)
+		for _, seg := range p.Segments {
+			if seg.ColLo != expect {
+				return false
+			}
+			expect = seg.ColHi
+		}
+		return int(expect) == m.Cols
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWindowSortPermutation: window sorting any base permutation with
+// any sigma yields a valid permutation with non-increasing counts inside
+// each window.
+func TestQuickWindowSortPermutation(t *testing.T) {
+	f := func(rawCounts []uint8, sigmaRaw uint8) bool {
+		if len(rawCounts) == 0 {
+			return true
+		}
+		counts := make([]int64, len(rawCounts))
+		for i, v := range rawCounts {
+			counts[i] = int64(v)
+		}
+		sigma := int(sigmaRaw%16) + 1
+		out := WindowSortRows(matrix.Identity(len(counts)), counts, sigma)
+		if !out.Valid() {
+			return false
+		}
+		if sigma <= 1 {
+			return true
+		}
+		for lo := 0; lo < len(out); lo += sigma {
+			hi := lo + sigma
+			if hi > len(out) {
+				hi = len(out)
+			}
+			for i := lo + 1; i < hi; i++ {
+				if counts[out[i-1]] < counts[out[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRaceParallelSpMV runs concurrent SpMV on distinct packs to give the
+// race detector something to chew on (run with -race in CI).
+func TestRaceParallelSpMV(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	coo := matrix.NewCOO(512, 512)
+	for k := 0; k < 4096; k++ {
+		coo.Add(int32(rng.Intn(512)), int32(rng.Intn(512)), 1)
+	}
+	m := coo.ToCSR()
+	x := matrix.Iota(m.Cols)
+	want := make([]float64, m.Rows)
+	m.SpMV(want, x)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			pack := BuildSRVPack(m, Method{Kind: LAV, C: 8, T: 0.7, Sched: Dyn})
+			y := make([]float64, m.Rows)
+			for iter := 0; iter < 5; iter++ {
+				pack.SpMVParallel(y, x, 4)
+			}
+			if matrix.MaxAbsDiff(want, y) > 1e-9 {
+				done <- errMismatch
+				return
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "parallel SpMV mismatch" }

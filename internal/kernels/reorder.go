@@ -1,0 +1,68 @@
+package kernels
+
+import (
+	"sort"
+
+	"wise/internal/matrix"
+)
+
+// RFS (Row Frequency Sorting) returns the permutation ordering all rows by
+// descending nonzero count (stable on ties). Sell-c-R applies RFS globally;
+// LAV applies it per segment.
+func RFS(m *matrix.CSR) matrix.Permutation {
+	return matrix.SortByCountsDesc(m.RowCounts())
+}
+
+// CFS (Column Frequency Sorting) returns the permutation ordering all
+// columns by descending nonzero count: perm[rank] = original column. LAV and
+// LAV-1Seg use it to pack frequently accessed input-vector elements together.
+func CFS(m *matrix.CSR) matrix.Permutation {
+	return matrix.SortByCountsDesc(m.ColCounts())
+}
+
+// WindowSortRows returns the permutation that, within each window of sigma
+// consecutive positions of base, reorders rows by descending count (stable).
+// With sigma >= len(base) this degenerates to a full RFS of base; with
+// sigma <= 1 it returns base unchanged. counts[row] gives the sort key.
+func WindowSortRows(base matrix.Permutation, counts []int64, sigma int) matrix.Permutation {
+	out := append(matrix.Permutation(nil), base...)
+	if sigma <= 1 {
+		return out
+	}
+	for lo := 0; lo < len(out); lo += sigma {
+		hi := lo + sigma
+		if hi > len(out) {
+			hi = len(out)
+		}
+		window := out[lo:hi]
+		sort.SliceStable(window, func(i, j int) bool {
+			return counts[window[i]] > counts[window[j]]
+		})
+	}
+	return out
+}
+
+// segmentSplit computes the LAV dense/sparse segment boundary: given column
+// nonzero counts already ordered by descending frequency (counts[rank]), it
+// returns the smallest rank s such that the columns with rank < s hold at
+// least a T fraction of all nonzeros. Both segments are guaranteed nonempty
+// when the matrix has at least two ranked columns with nonzeros; otherwise
+// the boundary may equal the column count (single-segment degenerate case).
+func segmentSplit(rankedCounts []int64, t float64) int {
+	var total int64
+	for _, c := range rankedCounts {
+		total += c
+	}
+	if total == 0 {
+		return len(rankedCounts)
+	}
+	target := t * float64(total)
+	var cum int64
+	for s, c := range rankedCounts {
+		cum += c
+		if float64(cum) >= target {
+			return s + 1
+		}
+	}
+	return len(rankedCounts)
+}

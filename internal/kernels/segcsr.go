@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"fmt"
+
+	"wise/internal/matrix"
+)
+
+// SegCSR is a cache-blocked CSR format in the style of Cagra (Zhang et al.,
+// "Making caches work for graph analytics"), which the paper's Section 7
+// names as a natural extension target for WISE: the columns are partitioned
+// into LLC-sized ranges and the matrix is processed one column segment at a
+// time, so the input-vector slice of each segment stays cache-resident. No
+// row reordering and no vectorized packing — this is the scalar
+// locality-only counterpart to LAV's segmentation.
+//
+// SegCSR exists to exercise WISE's extensibility claim: it is *not* part of
+// the paper's 29-model space; ExtensionMethods() exposes it and
+// core.WISE.Extend trains its model without touching the existing ones.
+type SegCSR struct {
+	Rows, Cols int
+	Sched      Sched
+	RowBlock   int
+	// Segs hold, per column segment, a full CSR substructure over the same
+	// row set (rows with no nonzeros in a segment have empty spans).
+	Segs []SegCSRSegment
+}
+
+// SegCSRSegment is one column range of SegCSR with its own CSR arrays.
+type SegCSRSegment struct {
+	ColLo, ColHi int32
+	RowPtr       []int64
+	ColIdx       []int32
+	Vals         []float64
+}
+
+// BuildSegCSR partitions the matrix into column segments of at most
+// segCols columns each and builds one CSR substructure per segment.
+// segCols <= 0 selects a single segment (degenerating to plain CSR).
+func BuildSegCSR(m *matrix.CSR, segCols int, sched Sched, rowBlock int) *SegCSR {
+	if segCols <= 0 || segCols > m.Cols {
+		segCols = m.Cols
+	}
+	if segCols < 1 {
+		segCols = 1
+	}
+	if rowBlock <= 0 {
+		rowBlock = 64
+	}
+	out := &SegCSR{Rows: m.Rows, Cols: m.Cols, Sched: sched, RowBlock: rowBlock}
+	for lo := 0; lo < m.Cols || lo == 0; lo += segCols {
+		hi := lo + segCols
+		if hi > m.Cols {
+			hi = m.Cols
+		}
+		seg := SegCSRSegment{
+			ColLo:  int32(lo),
+			ColHi:  int32(hi),
+			RowPtr: make([]int64, m.Rows+1),
+		}
+		for i := 0; i < m.Rows; i++ {
+			cols, vals := m.Row(i)
+			for k, c := range cols {
+				if int(c) >= lo && int(c) < hi {
+					seg.ColIdx = append(seg.ColIdx, c)
+					seg.Vals = append(seg.Vals, vals[k])
+				}
+			}
+			seg.RowPtr[i+1] = int64(len(seg.ColIdx))
+		}
+		out.Segs = append(out.Segs, seg)
+		if m.Cols == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// SpMV computes y = A*x sequentially.
+func (f *SegCSR) SpMV(y, x []float64) { f.SpMVParallel(y, x, 1) }
+
+// SpMVParallel computes y = A*x, processing column segments one after
+// another (the cache-blocking discipline) and parallelizing over row blocks
+// within each segment.
+func (f *SegCSR) SpMVParallel(y, x []float64, workers int) {
+	if len(x) != f.Cols || len(y) != f.Rows {
+		panic(fmt.Sprintf("kernels: SpMV dims y[%d]=A[%dx%d]*x[%d]", len(y), f.Rows, f.Cols, len(x)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	blocks := (f.Rows + f.RowBlock - 1) / f.RowBlock
+	for si := range f.Segs {
+		seg := &f.Segs[si]
+		parallelUnits(workers, blocks, f.Sched, func(b int) {
+			lo := b * f.RowBlock
+			hi := lo + f.RowBlock
+			if hi > f.Rows {
+				hi = f.Rows
+			}
+			for i := lo; i < hi; i++ {
+				var acc float64
+				for k := seg.RowPtr[i]; k < seg.RowPtr[i+1]; k++ {
+					acc += seg.Vals[k] * x[seg.ColIdx[k]]
+				}
+				y[i] += acc
+			}
+		})
+	}
+}
+
+// SegCSRKind is the extension method family id. It deliberately lives
+// outside the paper's Kind range (CSR..LAV) so the 29-model space is
+// untouched; String(), Validate() and Build() all understand it.
+const SegCSRKind Kind = 100
+
+// ExtensionMethods returns the extra {method, parameter} combinations
+// available beyond the paper's grid: SegCSR with an LLC-sized column window.
+func ExtensionMethods(llcDoubles int) []Method {
+	window := llcDoubles / 2
+	if window < 1 {
+		window = 1
+	}
+	return []Method{
+		{Kind: SegCSRKind, Sched: Dyn, C: window},
+		{Kind: SegCSRKind, Sched: StCont, C: window},
+	}
+}

@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"wise/internal/gen"
+	"wise/internal/matrix"
+)
+
+func TestSegCSRMatchesReference(t *testing.T) {
+	for name, m := range testMatrices(t) {
+		x := matrix.Iota(m.Cols)
+		want := make([]float64, m.Rows)
+		m.SpMV(want, x)
+		for _, segCols := range []int{0, 1, 3, 16, 1 << 20} {
+			for _, sched := range []Sched{Dyn, St, StCont} {
+				f := BuildSegCSR(m, segCols, sched, 8)
+				got := make([]float64, m.Rows)
+				f.SpMVParallel(got, x, 4)
+				if d := matrix.MaxAbsDiff(want, got); d > 1e-9 {
+					t.Errorf("%s segCols=%d %s: diff %g", name, segCols, sched, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSegCSRSegmentGeometry(t *testing.T) {
+	m := matrix.Fig1Example()
+	f := BuildSegCSR(m, 3, Dyn, 4)
+	if len(f.Segs) != 3 { // 8 cols in windows of 3: [0,3) [3,6) [6,8)
+		t.Fatalf("segments = %d, want 3", len(f.Segs))
+	}
+	var total int
+	for _, seg := range f.Segs {
+		total += len(seg.ColIdx)
+		for _, c := range seg.ColIdx {
+			if c < seg.ColLo || c >= seg.ColHi {
+				t.Fatalf("column %d outside segment [%d,%d)", c, seg.ColLo, seg.ColHi)
+			}
+		}
+	}
+	if total != m.NNZ() {
+		t.Errorf("segments hold %d nonzeros, want %d", total, m.NNZ())
+	}
+}
+
+func TestSegCSRSingleSegmentEqualsCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := gen.RMAT(rng, 8, 6, gen.MedSkew)
+	f := BuildSegCSR(m, 0, Dyn, 16)
+	if len(f.Segs) != 1 {
+		t.Fatalf("segments = %d", len(f.Segs))
+	}
+	seg := f.Segs[0]
+	if int64(len(seg.ColIdx)) != int64(m.NNZ()) {
+		t.Error("single segment should hold everything")
+	}
+}
+
+func TestSegCSRMethodIntegration(t *testing.T) {
+	// The extension method must flow through Validate, String, Build and
+	// PreprocessRank like any paper method.
+	methods := ExtensionMethods(8192)
+	if len(methods) != 2 {
+		t.Fatalf("extension methods = %d", len(methods))
+	}
+	for _, method := range methods {
+		if err := method.Validate(); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if method.String() == "" || method.Kind.String() != "SegCSR" {
+			t.Error("naming broken")
+		}
+		m := matrix.Fig1Example()
+		f := Build(m, method, 4)
+		x := matrix.Ones(m.Cols)
+		want := make([]float64, m.Rows)
+		m.SpMV(want, x)
+		got := make([]float64, m.Rows)
+		f.SpMV(got, x)
+		if matrix.MaxAbsDiff(want, got) > 1e-12 {
+			t.Errorf("%s wrong through Build", method)
+		}
+	}
+	// Tie-break rank: cheaper than Sell-c-sigma, more than SELLPACK.
+	seg := methods[0]
+	sell := Method{Kind: SELLPACK, C: 8, Sched: Dyn}
+	sigma := Method{Kind: SellCSigma, C: 8, Sigma: 512, Sched: Dyn}
+	if !(sell.PreprocessRank() < seg.PreprocessRank() && seg.PreprocessRank() < sigma.PreprocessRank()) {
+		t.Error("SegCSR preprocess rank not between SELLPACK and Sell-c-sigma")
+	}
+}
+
+func TestSegCSRValidate(t *testing.T) {
+	bad := []Method{
+		{Kind: SegCSRKind, C: 0, Sched: Dyn},
+		{Kind: SegCSRKind, C: 64, Sigma: 4, Sched: Dyn},
+		{Kind: SegCSRKind, C: 64, T: 0.5, Sched: Dyn},
+	}
+	for _, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("%+v accepted", m)
+		}
+	}
+}
+
+func TestSegCSRBuildOps(t *testing.T) {
+	ops := EstimateBuildOps(1000, 1000, 10000, Method{Kind: SegCSRKind, C: 250, Sched: Dyn})
+	if ops.ElementsMoved != 10000 {
+		t.Errorf("moved = %d", ops.ElementsMoved)
+	}
+	if ops.ScanOps != 4000 { // rows * 4 segments
+		t.Errorf("scans = %d", ops.ScanOps)
+	}
+}

@@ -1,0 +1,231 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"wise/internal/matrix"
+)
+
+// SRVPack is the paper's unified Segmented Reordered Vector Packing format
+// (Appendix A). One or two column segments hold the nonzeros; within a
+// segment, rows are placed in chunks of C lanes following RowOrder, each
+// chunk padded to the width of its longest row. A single SpMV kernel
+// executes every vectorized method of Table 1 from this representation.
+type SRVPack struct {
+	Rows, Cols int
+	C          int
+	Method     Method
+
+	// ColPerm is the CFS column permutation (perm[rank] = original column)
+	// for LAV-1Seg and LAV; nil for the other methods. When set, ColIdx
+	// values index the gathered vector x~[rank] = x[ColPerm[rank]].
+	ColPerm matrix.Permutation
+
+	Segments []Segment
+
+	nnz  int64     // real nonzeros stored (excludes padding), set at build
+	xbuf []float64 // gathered-x scratch; makes SpMV non-reentrant per pack
+}
+
+// Segment is one column range of the SRVPack format.
+type Segment struct {
+	// RowOrder maps packed position to original row id (the paper's
+	// row_order array).
+	RowOrder []int32
+	// ChunkOff[k] is the position (in chunk-width units) of chunk k's first
+	// column; chunk k spans positions [ChunkOff[k], ChunkOff[k+1]).
+	ChunkOff []int64
+	// Vals and ColIdx store the packed elements position-major: the element
+	// of chunk k, lane l at local position p lives at index
+	// (ChunkOff[k]+p)*C + l. Padded slots hold Val 0 and ColIdx 0.
+	Vals   []float64
+	ColIdx []int32
+	// ColLo, ColHi delimit the segment's column-rank range [ColLo, ColHi).
+	ColLo, ColHi int32
+}
+
+// Chunks returns the number of chunks in the segment.
+func (s *Segment) Chunks() int { return len(s.ChunkOff) - 1 }
+
+// BuildSRVPack converts a CSR matrix into SRVPack form for any vectorized
+// method (every Kind except CSR). It panics on invalid methods; structural
+// problems in the input surface via matrix validation in the caller.
+func BuildSRVPack(m *matrix.CSR, method Method) *SRVPack {
+	if err := method.Validate(); err != nil {
+		panic(err)
+	}
+	if method.Kind == CSR {
+		panic("kernels: BuildSRVPack does not handle CSR; use BuildCSRFormat")
+	}
+	p := &SRVPack{Rows: m.Rows, Cols: m.Cols, C: method.C, Method: method}
+
+	work := m
+	if method.Kind == LAV1Seg || method.Kind == LAV {
+		p.ColPerm = CFS(m)
+		work = m.PermuteCols(p.ColPerm) // columns now in rank space
+	}
+
+	// Determine segment column ranges in rank space.
+	type colRange struct{ lo, hi int32 }
+	ranges := []colRange{{0, int32(m.Cols)}}
+	if method.Kind == LAV {
+		counts := work.ColCounts()
+		s := segmentSplit(counts, method.T)
+		if s < m.Cols {
+			ranges = []colRange{{0, int32(s)}, {int32(s), int32(m.Cols)}}
+		}
+	}
+
+	for _, r := range ranges {
+		p.Segments = append(p.Segments, buildSegment(work, method, r.lo, r.hi))
+	}
+	p.nnz = int64(m.NNZ())
+	return p
+}
+
+// buildSegment packs the nonzeros of work whose column lies in [cLo, cHi)
+// into one Segment, applying the method's row ordering.
+func buildSegment(work *matrix.CSR, method Method, cLo, cHi int32) Segment {
+	rows := work.Rows
+	c := method.C
+
+	// Per-row span of columns within [cLo, cHi): rows are column-sorted, so
+	// the segment's entries form a contiguous range found by binary search.
+	spanLo := make([]int64, rows)
+	counts := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		cols, _ := work.Row(i)
+		lo := sort.Search(len(cols), func(k int) bool { return cols[k] >= cLo })
+		hi := sort.Search(len(cols), func(k int) bool { return cols[k] >= cHi })
+		spanLo[i] = work.RowPtr[i] + int64(lo)
+		counts[i] = int64(hi - lo)
+	}
+
+	// Row ordering per method.
+	var order matrix.Permutation
+	switch method.Kind {
+	case SELLPACK:
+		order = matrix.Identity(rows)
+	case SellCSigma:
+		order = WindowSortRows(matrix.Identity(rows), counts, method.Sigma)
+	case SellCR, LAV1Seg, LAV:
+		order = WindowSortRows(matrix.Identity(rows), counts, rows)
+	}
+
+	// Chunk widths and offsets.
+	nChunks := (rows + c - 1) / c
+	off := make([]int64, nChunks+1)
+	for k := 0; k < nChunks; k++ {
+		var width int64
+		for l := 0; l < c; l++ {
+			pos := k*c + l
+			if pos >= rows {
+				break
+			}
+			if w := counts[order[pos]]; w > width {
+				width = w
+			}
+		}
+		off[k+1] = off[k] + width
+	}
+	totalWidth := off[nChunks]
+
+	seg := Segment{
+		RowOrder: append([]int32(nil), order...),
+		ChunkOff: off,
+		Vals:     make([]float64, totalWidth*int64(c)),
+		ColIdx:   make([]int32, totalWidth*int64(c)),
+		ColLo:    cLo,
+		ColHi:    cHi,
+	}
+	for k := 0; k < nChunks; k++ {
+		base := k * c
+		for l := 0; l < c; l++ {
+			pos := base + l
+			if pos >= rows {
+				break
+			}
+			row := int(order[pos])
+			src := spanLo[row]
+			for e := int64(0); e < counts[row]; e++ {
+				idx := (off[k]+e)*int64(c) + int64(l)
+				seg.Vals[idx] = work.Vals[src+e]
+				seg.ColIdx[idx] = work.ColIdx[src+e]
+			}
+			// Remaining positions up to the chunk width stay zero-padded
+			// (Val 0, ColIdx 0), a safe read for any Cols >= 1.
+		}
+	}
+	return seg
+}
+
+// SpMV computes y = A*x sequentially. y is overwritten.
+func (p *SRVPack) SpMV(y, x []float64) { p.SpMVParallel(y, x, 1) }
+
+// SpMVParallel computes y = A*x with the given number of workers under the
+// method's scheduling policy. Work units are chunks; segments execute one
+// after another (the LAV discipline: each segment's slice of x is made
+// LLC-resident, then consumed). A pack must not be used from concurrent
+// SpMV calls: the gathered-x scratch buffer is per-pack state.
+func (p *SRVPack) SpMVParallel(y, x []float64, workers int) {
+	if len(x) != p.Cols || len(y) != p.Rows {
+		panic(fmt.Sprintf("kernels: SpMV dims y[%d]=A[%dx%d]*x[%d]", len(y), p.Rows, p.Cols, len(x)))
+	}
+	xs := x
+	if p.ColPerm != nil {
+		p.xbuf = matrix.GatherVec(p.xbuf, x, p.ColPerm)
+		xs = p.xbuf
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for si := range p.Segments {
+		seg := &p.Segments[si]
+		parallelUnits(workers, seg.Chunks(), p.Method.Sched, func(k int) {
+			seg.chunkSpMV(k, p.C, y, xs)
+		})
+	}
+}
+
+// chunkSpMV accumulates chunk k's contribution into y.
+func (s *Segment) chunkSpMV(k, c int, y, xs []float64) {
+	lo, hi := s.ChunkOff[k], s.ChunkOff[k+1]
+	base := k * c
+	lanes := len(s.RowOrder) - base
+	if lanes > c {
+		lanes = c
+	}
+	for l := 0; l < lanes; l++ {
+		var acc float64
+		for pos := lo; pos < hi; pos++ {
+			idx := pos*int64(c) + int64(l)
+			acc += s.Vals[idx] * xs[s.ColIdx[idx]]
+		}
+		y[s.RowOrder[base+l]] += acc
+	}
+}
+
+// PackStats summarizes the built format for the cost model and tests.
+type PackStats struct {
+	NNZ         int64 // real nonzeros stored
+	StoredSlots int64 // slots including padding
+	Padding     int64 // StoredSlots - NNZ
+	Chunks      int
+	Segments    int
+	MatrixBytes int64 // footprint of Vals+ColIdx+RowOrder+ChunkOff
+}
+
+// Stats computes the PackStats of the built format.
+func (p *SRVPack) Stats() PackStats {
+	st := PackStats{NNZ: p.nnz, Segments: len(p.Segments)}
+	for si := range p.Segments {
+		seg := &p.Segments[si]
+		st.StoredSlots += int64(len(seg.Vals))
+		st.Chunks += seg.Chunks()
+		st.MatrixBytes += int64(len(seg.Vals))*8 + int64(len(seg.ColIdx))*4 +
+			int64(len(seg.RowOrder))*4 + int64(len(seg.ChunkOff))*8
+	}
+	st.Padding = st.StoredSlots - st.NNZ
+	return st
+}

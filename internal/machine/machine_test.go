@@ -1,0 +1,73 @@
+package machine
+
+import "testing"
+
+func TestSkylakeSigmaMatchesPaper(t *testing.T) {
+	m := Skylake24()
+	sigmas := m.SigmaValues()
+	want := []int{512, 4096, 16384} // paper: {2^9, 2^12, 2^14}
+	if len(sigmas) != 3 {
+		t.Fatalf("got %d sigma values", len(sigmas))
+	}
+	for i := range want {
+		if sigmas[i] != want[i] {
+			t.Errorf("sigma[%d] = %d, want %d", i, sigmas[i], want[i])
+		}
+	}
+}
+
+func TestChunkSizesMatchPaper(t *testing.T) {
+	m := Skylake24()
+	cs := m.ChunkSizes()
+	if len(cs) != 2 || cs[0] != 4 || cs[1] != 8 {
+		t.Errorf("chunk sizes = %v, want [4 8]", cs)
+	}
+	scalar := Machine{VectorWidth: 1}
+	if cs := scalar.ChunkSizes(); len(cs) != 1 || cs[0] != 1 {
+		t.Errorf("scalar chunk sizes = %v", cs)
+	}
+}
+
+func TestCacheHierarchyMonotone(t *testing.T) {
+	for _, m := range []Machine{Skylake24(), Scaled()} {
+		if !(m.L1.SizeBytes < m.L2.SizeBytes && m.L2.SizeBytes < m.LLC.SizeBytes) {
+			t.Errorf("%s: cache sizes not monotone", m.Name)
+		}
+		if !(m.L1.HitCycles < m.L2.HitCycles && m.L2.HitCycles < m.LLC.HitCycles && m.LLC.HitCycles < m.MissCycles) {
+			t.Errorf("%s: latencies not monotone", m.Name)
+		}
+		if m.Cores <= 0 || m.VectorWidth <= 0 || m.RowBlock <= 0 {
+			t.Errorf("%s: bad execution params", m.Name)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := Cache{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8}
+	if got := c.Sets(); got != 64 {
+		t.Errorf("Sets() = %d, want 64", got)
+	}
+}
+
+func TestScaledPreservesCrossover(t *testing.T) {
+	// The scaled machine must keep LLC capacity near 2^13 doubles so that the
+	// paper's "rows > 2^22" LAV crossover appears inside the scaled corpus
+	// range (2^10..2^16 rows).
+	m := Scaled()
+	d := m.LLCDoubles()
+	if d < 1<<12 || d > 1<<14 {
+		t.Errorf("scaled LLC = %d doubles, want around 2^13", d)
+	}
+}
+
+func TestSigmaValuesAlwaysIncreasing(t *testing.T) {
+	for _, m := range []Machine{Skylake24(), Scaled(), {L1: Cache{SizeBytes: 64}, L2: Cache{SizeBytes: 128}}} {
+		s := m.SigmaValues()
+		if !(s[0] < s[1] && s[1] < s[2]) {
+			t.Errorf("%s: sigma values not increasing: %v", m.Name, s)
+		}
+		if s[0] < 2 {
+			t.Errorf("%s: sigma too small: %v", m.Name, s)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package matrix
+
+// Fig1Example returns an 8x8 worked-example matrix in the spirit of Figure 1
+// of the WISE paper: row lengths vary from 1 to 3 so SELLPACK with c=2 pads,
+// and column nonzero counts are skewed so CFS moves a few hot columns to the
+// front and LAV with T=0.7 splits into a dense and a sparse segment.
+//
+// Layout (letters encode values 1..17 in order of appearance):
+//
+//	     c0 c1 c2 c3 c4 c5 c6 c7
+//	r0 [  a  .  .  b  .  .  .  . ]
+//	r1 [  c  .  d  e  .  .  .  . ]
+//	r2 [  .  f  .  g  .  .  .  . ]
+//	r3 [  .  .  j  k  .  .  .  . ]
+//	r4 [  .  .  .  .  l  .  .  . ]
+//	r5 [  m  .  n  .  .  .  .  . ]
+//	r6 [  p  .  .  q  .  .  r  . ]
+//	r7 [  .  .  .  .  .  y  .  u ]
+func Fig1Example() *CSR {
+	c := NewCOO(8, 8)
+	add := func(r, col int32, v float64) { c.Add(r, col, v) }
+	add(0, 0, 1)  // a
+	add(0, 3, 2)  // b
+	add(1, 0, 3)  // c
+	add(1, 2, 4)  // d
+	add(1, 3, 5)  // e
+	add(2, 1, 6)  // f
+	add(2, 3, 7)  // g
+	add(3, 2, 8)  // j
+	add(3, 3, 9)  // k
+	add(4, 4, 10) // l
+	add(5, 0, 11) // m
+	add(5, 2, 12) // n
+	add(6, 0, 13) // p
+	add(6, 3, 14) // q
+	add(6, 6, 15) // r
+	add(7, 5, 16) // y
+	add(7, 7, 17) // u
+	return c.ToCSR()
+}

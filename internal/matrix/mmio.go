@@ -1,0 +1,163 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket I/O. The coordinate real/integer/pattern general/symmetric
+// subset is supported — enough to interchange with SuiteSparse-format files.
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate real
+// general format (1-based indices).
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, cols[k]+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into CSR form.
+// Symmetric and skew-symmetric matrices are expanded; pattern matrices get
+// value 1 for every entry.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1<<20), 1<<20)
+	if !br.Scan() {
+		return nil, fmt.Errorf("matrix: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(br.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("matrix: bad MatrixMarket header %q", br.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("matrix: only coordinate format supported, got %q", header[2])
+	}
+	valueType := header[3]
+	symmetry := "general"
+	if len(header) >= 5 {
+		symmetry = header[4]
+	}
+	switch valueType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("matrix: unsupported value type %q", valueType)
+	}
+	switch symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("matrix: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		if !br.Scan() {
+			return nil, fmt.Errorf("matrix: missing size line")
+		}
+		line := strings.TrimSpace(br.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("matrix: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, ErrDimension
+	}
+
+	coo := NewCOO(rows, cols)
+	coo.Entries = make([]Entry, 0, nnz)
+	read := 0
+	for read < nnz && br.Scan() {
+		line := strings.TrimSpace(br.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("matrix: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("matrix: bad row index %q: %w", fields[0], err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("matrix: bad col index %q: %w", fields[1], err)
+		}
+		val := 1.0
+		if valueType != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("matrix: missing value in %q", line)
+			}
+			val, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: bad value %q: %w", fields[2], err)
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrIndexRange, i, j, rows, cols)
+		}
+		coo.Add(int32(i-1), int32(j-1), val)
+		switch symmetry {
+		case "symmetric":
+			if i != j {
+				coo.Add(int32(j-1), int32(i-1), val)
+			}
+		case "skew-symmetric":
+			if i != j {
+				coo.Add(int32(j-1), int32(i-1), -val)
+			}
+		}
+		read++
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("matrix: expected %d entries, got %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteFile writes the matrix to path in MatrixMarket format.
+func WriteFile(path string, m *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteMatrixMarket(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a MatrixMarket file from path.
+func ReadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMatrixMarket(f)
+}

@@ -1,0 +1,131 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := randomCSR(t, rng, 20, 30, 0.1)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("MatrixMarket round trip changed matrix")
+	}
+}
+
+func TestMatrixMarketFileRoundTrip(t *testing.T) {
+	m := Fig1Example()
+	path := filepath.Join(t.TempDir(), "fig1.mtx")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("file round trip changed matrix")
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 3
+1 1 2.0
+2 1 5.0
+3 3 1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 { // off-diagonal mirrored
+		t.Fatalf("nnz = %d, want 4", m.NNZ())
+	}
+	d := m.ToDense()
+	if d[0*3+1] != 5 || d[1*3+0] != 5 {
+		t.Error("symmetric entry not mirrored")
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d[1*2+0] != 3 || d[0*2+1] != -3 {
+		t.Errorf("skew mirror wrong: %v", d)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 1 || m.Vals[1] != 1 {
+		t.Error("pattern values should be 1")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "%%NotMatrixMarket\n1 1 1\n1 1 1\n",
+		"array format": "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"bad type":     "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"short":        "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+		"bad index":    "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+		"no value":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment 1
+
+% comment 2
+2 2 2
+% inline comment
+1 1 1.0
+
+2 2 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+}

@@ -1,0 +1,174 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPerm(rng *rand.Rand, n int) Permutation {
+	p := Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestIdentityValid(t *testing.T) {
+	p := Identity(10)
+	if !p.Valid() {
+		t.Error("identity invalid")
+	}
+	for i, v := range p.Inverse() {
+		if int(v) != i {
+			t.Fatal("identity inverse not identity")
+		}
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	if (Permutation{0, 0}).Valid() {
+		t.Error("duplicate accepted")
+	}
+	if (Permutation{0, 2}).Valid() {
+		t.Error("out of range accepted")
+	}
+	if (Permutation{-1, 0}).Valid() {
+		t.Error("negative accepted")
+	}
+	if !(Permutation{}).Valid() {
+		t.Error("empty should be valid")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		p := randomPerm(rng, 1+rng.Intn(100))
+		inv := p.Inverse()
+		for newPos, oldPos := range p {
+			if inv[oldPos] != int32(newPos) {
+				t.Fatal("inverse wrong")
+			}
+		}
+		if !inv.Valid() {
+			t.Fatal("inverse invalid")
+		}
+	}
+}
+
+func TestSortByCountsDesc(t *testing.T) {
+	counts := []int64{3, 9, 1, 9, 5}
+	p := SortByCountsDesc(counts)
+	if !p.Valid() {
+		t.Fatal("perm invalid")
+	}
+	// Descending counts with stable tie-break by original index.
+	want := Permutation{1, 3, 4, 0, 2}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestSortByCountsDescProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int64, len(raw))
+		for i, v := range raw {
+			counts[i] = int64(v)
+		}
+		p := SortByCountsDesc(counts)
+		if !p.Valid() {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			if counts[p[i-1]] < counts[p[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteRowsPreservesSpMVUpToPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := randomCSR(t, rng, 40, 30, 0.1)
+	perm := randomPerm(rng, m.Rows)
+	pm := m.PermuteRows(perm)
+	if err := pm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := Iota(m.Cols)
+	y := make([]float64, m.Rows)
+	py := make([]float64, m.Rows)
+	m.SpMV(y, x)
+	pm.SpMV(py, x)
+	for newRow, oldRow := range perm {
+		if py[newRow] != y[oldRow] {
+			t.Fatalf("row %d: permuted %v != original %v", newRow, py[newRow], y[oldRow])
+		}
+	}
+}
+
+func TestPermuteColsPreservesSpMVWithGatheredX(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomCSR(t, rng, 30, 40, 0.1)
+	perm := randomPerm(rng, m.Cols)
+	pm := m.PermuteCols(perm)
+	if err := pm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := Iota(m.Cols)
+	px := GatherVec(nil, x, perm) // px[new] = x[perm[new]]
+	y := make([]float64, m.Rows)
+	py := make([]float64, m.Rows)
+	m.SpMV(y, x)
+	pm.SpMV(py, px)
+	if MaxAbsDiff(y, py) > 1e-12 {
+		t.Fatalf("column permutation broke SpMV: diff %v", MaxAbsDiff(y, py))
+	}
+}
+
+func TestGatherScatterInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 64
+	perm := randomPerm(rng, n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	g := GatherVec(nil, x, perm)
+	s := ScatterVec(nil, g, perm)
+	if MaxAbsDiff(x, s) != 0 {
+		t.Error("scatter(gather(x)) != x")
+	}
+}
+
+func TestPermutePanicsOnBadLength(t *testing.T) {
+	m := Fig1Example()
+	for name, fn := range map[string]func(){
+		"rows": func() { m.PermuteRows(Identity(3)) },
+		"cols": func() { m.PermuteCols(Identity(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPermuteRowsIdentityNoop(t *testing.T) {
+	m := Fig1Example()
+	if !m.PermuteRows(Identity(m.Rows)).Equal(m) {
+		t.Error("identity row permutation changed matrix")
+	}
+	if !m.PermuteCols(Identity(m.Cols)).Equal(m) {
+		t.Error("identity col permutation changed matrix")
+	}
+}

@@ -1,0 +1,132 @@
+package mkl
+
+import (
+	"math/rand"
+	"testing"
+
+	"wise/internal/costmodel"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/matrix"
+)
+
+func TestBaselineNeverBest(t *testing.T) {
+	// The paper observes MKL never yields the best performance for any
+	// matrix; our stand-in must always trail the best CSR variant.
+	rng := rand.New(rand.NewSource(1))
+	e := costmodel.New(machine.Scaled())
+	for _, m := range []*matrix.CSR{
+		gen.RMAT(rng, 10, 8, gen.HighSkew),
+		gen.Banded(rng, 2048, []int{-1, 0, 1}),
+		gen.RGG(rng, 1024, 6),
+	} {
+		_, best := e.BestCSR(m)
+		if BaselineCycles(e, m) <= best {
+			t.Error("baseline matched or beat the best CSR")
+		}
+	}
+}
+
+func TestBaselineExecutableCorrect(t *testing.T) {
+	m := matrix.Fig1Example()
+	f := Baseline(m)
+	x := matrix.Iota(m.Cols)
+	want := make([]float64, m.Rows)
+	m.SpMV(want, x)
+	got := make([]float64, m.Rows)
+	f.SpMVParallel(got, x, 4)
+	if matrix.MaxAbsDiff(want, got) > 1e-12 {
+		t.Error("baseline kernel wrong")
+	}
+}
+
+func TestInspectorExecutorPicksGoodMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := costmodel.New(machine.Scaled())
+	m := gen.Banded(rng, 4096, []int{-2, -1, 0, 1, 2, 3})
+	res := InspectorExecutor(e, m)
+	// IE must beat the baseline on a vectorization-friendly matrix.
+	if res.Cycles >= BaselineCycles(e, m) {
+		t.Errorf("IE %v not faster than baseline %v", res.Cycles, BaselineCycles(e, m))
+	}
+	if res.Chosen.Kind == kernels.CSR {
+		t.Errorf("IE chose %s on a vectorization-friendly matrix", res.Chosen)
+	}
+}
+
+func TestInspectorExecutorPrepCostly(t *testing.T) {
+	// IE preprocessing includes one conversion + one trial per candidate, so
+	// it must exceed several baseline iterations.
+	rng := rand.New(rand.NewSource(3))
+	e := costmodel.New(machine.Scaled())
+	m := gen.RMAT(rng, 11, 8, gen.MedSkew)
+	res := InspectorExecutor(e, m)
+	iters := res.PrepCycles / BaselineCycles(e, m)
+	if iters < 5 {
+		t.Errorf("IE preprocessing only %v baseline iterations", iters)
+	}
+}
+
+func TestInspectorExecutorMissesLAV(t *testing.T) {
+	// On a large high-skew matrix where LAV is the oracle choice, IE's menu
+	// (no CFS, no segmentation) must leave speedup on the table.
+	rng := rand.New(rand.NewSource(4))
+	mach := machine.Scaled()
+	e := costmodel.New(mach)
+	m := gen.RMATRows(rng, mach.LLCDoubles()*4, 16, gen.HighSkew)
+	m = gen.CapRowDegree(rng, m, m.NNZ()/500)
+	res := InspectorExecutor(e, m)
+	lav := e.MethodCycles(m, kernels.Method{Kind: kernels.LAV, C: 8, T: 0.7, Sched: kernels.Dyn})
+	if lav >= res.Cycles {
+		t.Errorf("LAV %v should beat IE's choice %v (%s) here", lav, res.Cycles, res.Chosen)
+	}
+}
+
+func TestBaselineFromCyclesConsistent(t *testing.T) {
+	e := costmodel.New(machine.Scaled())
+	m := matrix.Fig1Example()
+	direct := BaselineCycles(e, m)
+	derived := BaselineFromCycles(e.CSRCycles(m, kernels.StCont))
+	if direct != derived {
+		t.Errorf("BaselineFromCycles %v != BaselineCycles %v", derived, direct)
+	}
+}
+
+func TestIEFromEstimatesMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := costmodel.New(machine.Scaled())
+	m := gen.RMAT(rng, 9, 8, gen.MedSkew)
+	direct := InspectorExecutor(e, m)
+
+	// Derive from precomputed estimates over the full model space.
+	space := kernels.ModelSpace(machine.Scaled())
+	cycles := make([]float64, len(space))
+	preps := make([]float64, len(space))
+	for i, method := range space {
+		cycles[i] = e.MethodCycles(m, method)
+		preps[i] = e.PreprocessCycles(m.Rows, m.Cols, int64(m.NNZ()), method)
+	}
+	derived := IEFromEstimates(e.Mach.SigmaValues()[1], space, cycles, preps)
+	if direct.Chosen != derived.Chosen {
+		t.Errorf("chosen: direct %s vs derived %s", direct.Chosen, derived.Chosen)
+	}
+	if diff := direct.Cycles - derived.Cycles; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cycles: %v vs %v", direct.Cycles, derived.Cycles)
+	}
+	if diff := direct.PrepCycles - derived.PrepCycles; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("prep: %v vs %v", direct.PrepCycles, derived.PrepCycles)
+	}
+}
+
+func TestIEFromEstimatesSkipsMissingCandidates(t *testing.T) {
+	// Only one candidate present in the provided slice: IE must use it.
+	space := []kernels.Method{{Kind: kernels.CSR, Sched: kernels.StCont}}
+	res := IEFromEstimates(64, space, []float64{100}, []float64{5})
+	if res.Chosen != space[0] || res.Cycles != 100 {
+		t.Errorf("degenerate IE = %+v", res)
+	}
+	if res.PrepCycles != 5+trialsPerCandidate*100 {
+		t.Errorf("prep = %v", res.PrepCycles)
+	}
+}

@@ -1,0 +1,120 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix accumulates (actual, predicted) counts for a classifier
+// with a fixed class count. Rows are actual classes, columns predicted —
+// the layout of the paper's Figure 10.
+type ConfusionMatrix struct {
+	Counts [][]int64
+}
+
+// NewConfusionMatrix returns an empty n x n confusion matrix.
+func NewConfusionMatrix(n int) *ConfusionMatrix {
+	c := &ConfusionMatrix{Counts: make([][]int64, n)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int64, n)
+	}
+	return c
+}
+
+// Add records one observation.
+func (c *ConfusionMatrix) Add(actual, predicted int) {
+	c.Counts[actual][predicted]++
+}
+
+// Merge accumulates another matrix of the same shape (used to combine the
+// per-fold matrices of cross-validation).
+func (c *ConfusionMatrix) Merge(o *ConfusionMatrix) {
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += o.Counts[i][j]
+		}
+	}
+}
+
+// Total returns the number of recorded observations.
+func (c *ConfusionMatrix) Total() int64 {
+	var t int64
+	for i := range c.Counts {
+		for _, v := range c.Counts[i] {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy is the fraction of observations on the diagonal.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	var diag int64
+	for i := range c.Counts {
+		diag += c.Counts[i][i]
+	}
+	return float64(diag) / float64(t)
+}
+
+// OffByOneOfMisclassified is the fraction of misclassified observations
+// whose predicted class is adjacent to the actual one — the paper's
+// "distance of only one from the correct class" statistic.
+func (c *ConfusionMatrix) OffByOneOfMisclassified() float64 {
+	var wrong, near int64
+	for i := range c.Counts {
+		for j, v := range c.Counts[i] {
+			if i == j {
+				continue
+			}
+			wrong += v
+			if j == i-1 || j == i+1 {
+				near += v
+			}
+		}
+	}
+	if wrong == 0 {
+		return 1
+	}
+	return float64(near) / float64(wrong)
+}
+
+// OverUnder returns the observation counts in the upper triangle (speedup
+// overestimated) and lower triangle (underestimated). Classes are ordered
+// slow-to-fast, so predicted > actual means the model promised more speedup
+// than was delivered.
+func (c *ConfusionMatrix) OverUnder() (over, under int64) {
+	for i := range c.Counts {
+		for j, v := range c.Counts[i] {
+			switch {
+			case j > i:
+				over += v
+			case j < i:
+				under += v
+			}
+		}
+	}
+	return over, under
+}
+
+// String renders the matrix with row/column headers.
+func (c *ConfusionMatrix) String() string {
+	var b strings.Builder
+	n := len(c.Counts)
+	fmt.Fprintf(&b, "actual\\pred")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "%8d", j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%11d", i)
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(&b, "%8d", c.Counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

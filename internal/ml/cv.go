@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KFoldSplit partitions sample indices [0, n) into k disjoint folds after a
+// deterministic shuffle with the given seed. Every index appears in exactly
+// one fold; fold sizes differ by at most one.
+func KFoldSplit(n, k int, seed int64) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	folds := make([][]int, k)
+	for i, v := range idx {
+		folds[i%k] = append(folds[i%k], v)
+	}
+	return folds
+}
+
+// CrossValidate runs k-fold cross-validation of a tree configuration on the
+// dataset (the paper's evaluation protocol, k = 10) and returns the combined
+// confusion matrix across all folds.
+func CrossValidate(d Dataset, cfg TreeConfig, k int, seed int64) (*ConfusionMatrix, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.X)
+	if n < 2 {
+		return nil, fmt.Errorf("ml: need >= 2 samples for cross-validation, have %d", n)
+	}
+	folds := KFoldSplit(n, k, seed)
+	cm := NewConfusionMatrix(d.NumClasses)
+	inFold := make([]bool, n)
+	for _, fold := range folds {
+		for i := range inFold {
+			inFold[i] = false
+		}
+		for _, i := range fold {
+			inFold[i] = true
+		}
+		var trainIdx []int
+		for i := 0; i < n; i++ {
+			if !inFold[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		tree, err := Fit(d.Subset(trainIdx), cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range fold {
+			cm.Add(d.Y[i], tree.Predict(d.X[i]))
+		}
+	}
+	return cm, nil
+}
+
+// CrossValPredict returns out-of-fold predictions for every sample: sample i
+// is predicted by the tree trained on the folds not containing i. This is
+// how WISE's end-to-end speedup is evaluated without training-set leakage.
+func CrossValPredict(d Dataset, cfg TreeConfig, k int, seed int64) ([]int, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.X)
+	if n < 2 {
+		return nil, fmt.Errorf("ml: need >= 2 samples, have %d", n)
+	}
+	preds := make([]int, n)
+	folds := KFoldSplit(n, k, seed)
+	inFold := make([]bool, n)
+	for _, fold := range folds {
+		for i := range inFold {
+			inFold[i] = false
+		}
+		for _, i := range fold {
+			inFold[i] = true
+		}
+		var trainIdx []int
+		for i := 0; i < n; i++ {
+			if !inFold[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		tree, err := Fit(d.Subset(trainIdx), cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range fold {
+			preds[i] = tree.Predict(d.X[i])
+		}
+	}
+	return preds, nil
+}
+
+// GridPoint is one (MaxDepth, CCPAlpha) combination with its metric value.
+type GridPoint struct {
+	MaxDepth float64
+	CCPAlpha float64
+	Metric   float64
+}
+
+// GridSearch evaluates metric over the cross product of depths and alphas
+// (the paper's Table 4 protocol) and returns all points plus the best one by
+// maximum metric.
+func GridSearch(depths []int, alphas []float64, metric func(cfg TreeConfig) float64) (points []GridPoint, best GridPoint) {
+	first := true
+	for _, d := range depths {
+		for _, a := range alphas {
+			cfg := TreeConfig{MaxDepth: d, MinSamplesLeaf: 1, CCPAlpha: a}
+			p := GridPoint{MaxDepth: float64(d), CCPAlpha: a, Metric: metric(cfg)}
+			points = append(points, p)
+			if first || p.Metric > best.Metric {
+				best = p
+				first = false
+			}
+		}
+	}
+	return points, best
+}

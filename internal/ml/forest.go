@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random forest: a bagging ensemble over the CART trees. The paper uses
+// single decision trees; the forest exists as the natural future-work
+// extension and powers the model-family ablation (does ensembling close any
+// of the WISE-vs-oracle gap?).
+
+// ForestConfig controls ensemble training.
+type ForestConfig struct {
+	Trees          int // ensemble size
+	Tree           TreeConfig
+	SampleFraction float64 // bootstrap sample size as a fraction of the dataset
+}
+
+// DefaultForestConfig returns a modest ensemble around the paper's tree
+// configuration.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 15, Tree: DefaultTreeConfig(), SampleFraction: 0.8}
+}
+
+// Forest is a fitted bagging ensemble.
+type Forest struct {
+	Trees      []*Tree
+	NumClasses int
+}
+
+// FitForest trains cfg.Trees CART trees on bootstrap resamples of the
+// dataset (sampling with replacement, deterministic in seed).
+func FitForest(d Dataset, cfg ForestConfig, seed int64) (*Forest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.X) == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	if cfg.Trees < 1 {
+		cfg.Trees = 1
+	}
+	if cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
+		cfg.SampleFraction = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(d.X)
+	sampleSize := int(cfg.SampleFraction * float64(n))
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+	f := &Forest{NumClasses: d.NumClasses}
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, sampleSize)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tree, err := Fit(d.Subset(idx), cfg.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("ml: forest tree %d: %w", t, err)
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the majority-vote class; ties break toward the lower
+// class id (the more conservative, slower-speedup prediction).
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.NumClasses)
+	for _, tree := range f.Trees {
+		votes[tree.Predict(x)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// CrossValPredictForest mirrors CrossValPredict for forests.
+func CrossValPredictForest(d Dataset, cfg ForestConfig, k int, seed int64) ([]int, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.X)
+	if n < 2 {
+		return nil, fmt.Errorf("ml: need >= 2 samples, have %d", n)
+	}
+	preds := make([]int, n)
+	folds := KFoldSplit(n, k, seed)
+	inFold := make([]bool, n)
+	for fi, fold := range folds {
+		for i := range inFold {
+			inFold[i] = false
+		}
+		for _, i := range fold {
+			inFold[i] = true
+		}
+		var trainIdx []int
+		for i := 0; i < n; i++ {
+			if !inFold[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		forest, err := FitForest(d.Subset(trainIdx), cfg, seed+int64(fi))
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range fold {
+			preds[i] = forest.Predict(d.X[i])
+		}
+	}
+	return preds, nil
+}

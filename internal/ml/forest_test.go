@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestForestBeatsChanceOnNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Dataset{NumClasses: 2}
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()
+		label := 0
+		if x > 0.5 {
+			label = 1
+		}
+		if rng.Float64() < 0.2 {
+			label = 1 - label
+		}
+		d.X = append(d.X, []float64{x, rng.Float64(), rng.Float64()})
+		d.Y = append(d.Y, label)
+	}
+	forest, err := FitForest(d, DefaultForestConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Predict([]float64{0.05, 0.5, 0.5}) != 0 {
+		t.Error("clear class-0 sample misclassified")
+	}
+	if forest.Predict([]float64{0.95, 0.5, 0.5}) != 1 {
+		t.Error("clear class-1 sample misclassified")
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := blobDataset(rng, 30, 3)
+	a, err := FitForest(d, DefaultForestConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitForest(d, DefaultForestConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed, different forest")
+		}
+	}
+}
+
+func TestForestConfigClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := blobDataset(rng, 10, 2)
+	f, err := FitForest(d, ForestConfig{Trees: 0, Tree: TreeConfig{MaxDepth: 3}, SampleFraction: -1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 1 {
+		t.Errorf("tree count = %d, want clamp to 1", len(f.Trees))
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	if _, err := FitForest(Dataset{NumClasses: 2}, DefaultForestConfig(), 1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := CrossValPredictForest(Dataset{X: [][]float64{{1}}, Y: []int{0}, NumClasses: 1}, DefaultForestConfig(), 2, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+}
+
+func TestCrossValPredictForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := blobDataset(rng, 30, 3)
+	cfg := ForestConfig{Trees: 5, Tree: TreeConfig{MaxDepth: 6}, SampleFraction: 0.8}
+	preds, err := CrossValPredictForest(d, cfg, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range preds {
+		if preds[i] == d.Y[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(preds)) < 0.9 {
+		t.Errorf("forest out-of-fold accuracy %v on separable blobs", float64(correct)/float64(len(preds)))
+	}
+}

@@ -1,0 +1,93 @@
+package ml
+
+// Classification quality metrics beyond plain accuracy, plus decision-tree
+// feature importance — used by the Fig. 10 driver and the training CLI to
+// introspect which of the Table 2 features carry the signal.
+
+// PrecisionRecall returns the per-class precision and recall of the
+// confusion matrix. Classes with no predictions (precision) or no
+// occurrences (recall) get 0.
+func (c *ConfusionMatrix) PrecisionRecall() (precision, recall []float64) {
+	n := len(c.Counts)
+	precision = make([]float64, n)
+	recall = make([]float64, n)
+	for k := 0; k < n; k++ {
+		var predicted, actual int64
+		for i := 0; i < n; i++ {
+			predicted += c.Counts[i][k]
+			actual += c.Counts[k][i]
+		}
+		if predicted > 0 {
+			precision[k] = float64(c.Counts[k][k]) / float64(predicted)
+		}
+		if actual > 0 {
+			recall[k] = float64(c.Counts[k][k]) / float64(actual)
+		}
+	}
+	return precision, recall
+}
+
+// MacroF1 returns the macro-averaged F1 score over classes that actually
+// occur (classes absent from the data are excluded, not counted as zero).
+func (c *ConfusionMatrix) MacroF1() float64 {
+	precision, recall := c.PrecisionRecall()
+	var sum float64
+	var present int
+	for k := range precision {
+		var actual int64
+		for i := range c.Counts[k] {
+			actual += c.Counts[k][i]
+		}
+		if actual == 0 {
+			continue
+		}
+		present++
+		if precision[k]+recall[k] > 0 {
+			sum += 2 * precision[k] * recall[k] / (precision[k] + recall[k])
+		}
+	}
+	if present == 0 {
+		return 0
+	}
+	return sum / float64(present)
+}
+
+// FeatureImportance returns the Gini importance of each feature: the total
+// impurity decrease contributed by splits on that feature, weighted by the
+// fraction of training samples reaching the split, normalized to sum to 1.
+// The slice length is the feature-vector width used at training; it is nil
+// for deserialized trees (training counts are not persisted).
+func (t *Tree) FeatureImportance(nFeatures int) []float64 {
+	if t.Root == nil || t.Root.Samples == 0 {
+		return nil
+	}
+	imp := make([]float64, nFeatures)
+	total := float64(t.Root.Samples)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		if n.Feature >= 0 && n.Feature < nFeatures {
+			childImp := (float64(n.Left.Samples)*n.Left.Impurity +
+				float64(n.Right.Samples)*n.Right.Impurity) / float64(n.Samples)
+			decrease := n.Impurity - childImp
+			if decrease > 0 {
+				imp[n.Feature] += float64(n.Samples) / total * decrease
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}

@@ -1,0 +1,150 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPrecisionRecall(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	// class 0: 2 correct, 1 predicted as 1.
+	cm.Add(0, 0)
+	cm.Add(0, 0)
+	cm.Add(0, 1)
+	// class 1: 1 correct.
+	cm.Add(1, 1)
+	// class 2: never occurs, never predicted.
+	p, r := cm.PrecisionRecall()
+	if p[0] != 1 { // predictions of class 0: 2, both correct
+		t.Errorf("precision[0] = %v", p[0])
+	}
+	if math.Abs(r[0]-2.0/3.0) > 1e-12 {
+		t.Errorf("recall[0] = %v", r[0])
+	}
+	if math.Abs(p[1]-0.5) > 1e-12 { // predicted 1 twice, once correct
+		t.Errorf("precision[1] = %v", p[1])
+	}
+	if r[1] != 1 {
+		t.Errorf("recall[1] = %v", r[1])
+	}
+	if p[2] != 0 || r[2] != 0 {
+		t.Errorf("empty class metrics = %v/%v", p[2], r[2])
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	// Perfect classifier: F1 = 1.
+	cm := NewConfusionMatrix(2)
+	cm.Add(0, 0)
+	cm.Add(1, 1)
+	if f := cm.MacroF1(); math.Abs(f-1) > 1e-12 {
+		t.Errorf("perfect F1 = %v", f)
+	}
+	// All wrong: F1 = 0.
+	cm = NewConfusionMatrix(2)
+	cm.Add(0, 1)
+	cm.Add(1, 0)
+	if f := cm.MacroF1(); f != 0 {
+		t.Errorf("all-wrong F1 = %v", f)
+	}
+	// Absent classes excluded, not zero-averaged.
+	cm = NewConfusionMatrix(5)
+	cm.Add(0, 0)
+	if f := cm.MacroF1(); math.Abs(f-1) > 1e-12 {
+		t.Errorf("single-class F1 = %v", f)
+	}
+	if f := NewConfusionMatrix(3).MacroF1(); f != 0 {
+		t.Errorf("empty F1 = %v", f)
+	}
+}
+
+func TestFeatureImportanceIdentifiesSignal(t *testing.T) {
+	// Labels depend only on feature 1; feature 0 is noise.
+	rng := rand.New(rand.NewSource(1))
+	d := Dataset{NumClasses: 2}
+	for i := 0; i < 400; i++ {
+		signal := rng.Float64()
+		label := 0
+		if signal > 0.5 {
+			label = 1
+		}
+		d.X = append(d.X, []float64{rng.Float64(), signal})
+		d.Y = append(d.Y, label)
+	}
+	tree, err := Fit(d, TreeConfig{MaxDepth: 8, CCPAlpha: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.FeatureImportance(2)
+	if len(imp) != 2 {
+		t.Fatal("wrong length")
+	}
+	if imp[1] < 0.9 {
+		t.Errorf("signal feature importance %v, want >= 0.9 (noise got %v)", imp[1], imp[0])
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestFeatureImportanceStump(t *testing.T) {
+	d := Dataset{
+		X:          [][]float64{{1}, {1}},
+		Y:          []int{0, 0},
+		NumClasses: 2,
+	}
+	tree, err := Fit(d, TreeConfig{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.FeatureImportance(1)
+	if imp[0] != 0 {
+		t.Errorf("pure-leaf tree importance = %v", imp)
+	}
+}
+
+func TestDecisionPathConsistentWithPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := blobDataset(rng, 30, 3)
+	tree, err := Fit(d, TreeConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.X {
+		path := tree.DecisionPath(x)
+		// Replay the path manually and confirm it reaches the prediction.
+		n := tree.Root
+		for _, step := range path {
+			if n.Feature != step.Feature || n.Threshold != step.Threshold {
+				t.Fatal("path disagrees with tree structure")
+			}
+			if step.WentLeft != (x[n.Feature] <= n.Threshold) {
+				t.Fatal("direction recorded wrongly")
+			}
+			if step.WentLeft {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+		}
+		if !n.IsLeaf() || n.Class != tree.Predict(x) {
+			t.Fatal("path does not end at predicted leaf")
+		}
+	}
+}
+
+func TestDecisionPathStump(t *testing.T) {
+	d := Dataset{X: [][]float64{{1}}, Y: []int{0}, NumClasses: 1}
+	tree, err := Fit(d, TreeConfig{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path := tree.DecisionPath([]float64{5}); len(path) != 0 {
+		t.Errorf("stump path = %v", path)
+	}
+}

@@ -1,0 +1,412 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// xorDataset is linearly inseparable but tree-separable. The quadrant counts
+// are deliberately unbalanced: a perfectly balanced XOR has zero Gini gain
+// for every single-feature split, so greedy CART (like scikit-learn's)
+// cannot start on it.
+func xorDataset() Dataset {
+	var d Dataset
+	d.NumClasses = 2
+	quadCounts := map[[2]int]int{{0, 0}: 12, {1, 0}: 9, {0, 1}: 9, {1, 1}: 12}
+	for quad, n := range quadCounts {
+		for i := 0; i < n; i++ {
+			a, b := float64(quad[0]), float64(quad[1])
+			label := 0
+			if quad[0] != quad[1] {
+				label = 1
+			}
+			d.X = append(d.X, []float64{a + float64(i)*0.001, b})
+			d.Y = append(d.Y, label)
+		}
+	}
+	return d
+}
+
+// blobDataset makes NumClasses well-separated 2D clusters.
+func blobDataset(rng *rand.Rand, perClass, classes int) Dataset {
+	d := Dataset{NumClasses: classes}
+	for c := 0; c < classes; c++ {
+		cx := float64(c * 10)
+		for i := 0; i < perClass; i++ {
+			d.X = append(d.X, []float64{cx + rng.NormFloat64(), rng.NormFloat64()})
+			d.Y = append(d.Y, c)
+		}
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ok := Dataset{X: [][]float64{{1}, {2}}, Y: []int{0, 1}, NumClasses: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Dataset{
+		{X: [][]float64{{1}}, Y: []int{0, 1}, NumClasses: 2},
+		{X: [][]float64{{1}, {2}}, Y: []int{0, 2}, NumClasses: 2},
+		{X: [][]float64{{1}, {2, 3}}, Y: []int{0, 1}, NumClasses: 2},
+		{X: [][]float64{{1}}, Y: []int{0}, NumClasses: 0},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestFitPerfectSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := blobDataset(rng, 30, 3)
+	tree, err := Fit(d, TreeConfig{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i, x := range d.X {
+		if tree.Predict(x) != d.Y[i] {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("separable blobs misclassified %d times", wrong)
+	}
+}
+
+func TestFitXOR(t *testing.T) {
+	d := xorDataset()
+	tree, err := Fit(d, TreeConfig{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X {
+		if got := tree.Predict(x); got != d.Y[i] {
+			t.Fatalf("xor sample %d: predicted %d, want %d", i, got, d.Y[i])
+		}
+	}
+	if tree.Depth() < 2 {
+		t.Error("xor needs depth >= 2")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Dataset{NumClasses: 2}
+	for i := 0; i < 300; i++ {
+		d.X = append(d.X, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		d.Y = append(d.Y, rng.Intn(2))
+	}
+	for _, depth := range []int{1, 2, 3, 5} {
+		tree, err := Fit(d, TreeConfig{MaxDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Depth() > depth {
+			t.Errorf("depth %d exceeds max %d", tree.Depth(), depth)
+		}
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := blobDataset(rng, 20, 2)
+	tree, err := Fit(d, TreeConfig{MaxDepth: 10, MinSamplesLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func(n *Node)
+	check = func(n *Node) {
+		if n.IsLeaf() {
+			if n.Samples < 5 {
+				t.Errorf("leaf with %d samples < MinSamplesLeaf", n.Samples)
+			}
+			return
+		}
+		check(n.Left)
+		check(n.Right)
+	}
+	check(tree.Root)
+}
+
+func TestPruningShrinksTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Noisy labels force an overfit tree that pruning should shrink.
+	d := Dataset{NumClasses: 2}
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()
+		label := 0
+		if x > 0.5 {
+			label = 1
+		}
+		if rng.Float64() < 0.15 {
+			label = 1 - label
+		}
+		d.X = append(d.X, []float64{x, rng.Float64()})
+		d.Y = append(d.Y, label)
+	}
+	unpruned, err := Fit(d, TreeConfig{MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Fit(d, TreeConfig{MaxDepth: 20, CCPAlpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Leaves() >= unpruned.Leaves() {
+		t.Errorf("pruned leaves %d >= unpruned %d", pruned.Leaves(), unpruned.Leaves())
+	}
+	// The pruned tree must still get the main signal right.
+	if pruned.Predict([]float64{0.1, 0}) != 0 || pruned.Predict([]float64{0.9, 0}) != 1 {
+		t.Error("pruning destroyed the dominant split")
+	}
+}
+
+func TestPruningMonotoneInAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := Dataset{NumClasses: 3}
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, rng.Intn(3))
+	}
+	prev := 1 << 30
+	for _, alpha := range []float64{0, 0.001, 0.005, 0.01, 0.05, 0.1} {
+		tree, err := Fit(d, TreeConfig{MaxDepth: 20, CCPAlpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Leaves() > prev {
+			t.Errorf("alpha %v grew the tree: %d > %d leaves", alpha, tree.Leaves(), prev)
+		}
+		prev = tree.Leaves()
+	}
+}
+
+func TestHugeAlphaCollapsesToRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := blobDataset(rng, 20, 2)
+	tree, err := Fit(d, TreeConfig{MaxDepth: 10, CCPAlpha: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 1 {
+		t.Errorf("alpha=10 should collapse to a stump, got %d leaves", tree.Leaves())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(Dataset{NumClasses: 2}, TreeConfig{MaxDepth: 3}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Fit(Dataset{X: [][]float64{{1}}, Y: []int{5}, NumClasses: 2}, TreeConfig{MaxDepth: 3}); err == nil {
+		t.Error("bad labels accepted")
+	}
+}
+
+func TestTreeSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := blobDataset(rng, 25, 4)
+	d.FeatureNames = []string{"f0", "f1"}
+	tree, err := Fit(d, TreeConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tree.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.X {
+		if tree.Predict(x) != back.Predict(x) {
+			t.Fatal("serialized tree predicts differently")
+		}
+	}
+	if back.FeatureNames[1] != "f1" {
+		t.Error("feature names lost")
+	}
+	if _, err := UnmarshalTree([]byte(`{"num_classes":2}`)); err == nil {
+		t.Error("rootless tree accepted")
+	}
+	if _, err := UnmarshalTree([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPredictionsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := blobDataset(rng, 15, 5)
+	tree, err := Fit(d, TreeConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		c := tree.Predict([]float64{a, b})
+		return c >= 0 && c < 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKFoldSplitPartition(t *testing.T) {
+	for _, n := range []int{10, 37, 100} {
+		for _, k := range []int{2, 5, 10} {
+			folds := KFoldSplit(n, k, 1)
+			seen := map[int]int{}
+			for _, fold := range folds {
+				for _, i := range fold {
+					seen[i]++
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d k=%d: %d distinct indices", n, k, len(seen))
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("index %d appears %d times", i, c)
+				}
+			}
+			for _, fold := range folds {
+				if len(fold) < n/k || len(fold) > n/k+1 {
+					t.Fatalf("fold size %d unbalanced for n=%d k=%d", len(fold), n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	a := KFoldSplit(50, 10, 7)
+	b := KFoldSplit(50, 10, 7)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic folds")
+			}
+		}
+	}
+}
+
+func TestCrossValidateAccuracyOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := blobDataset(rng, 40, 3)
+	cm, err := CrossValidate(d, TreeConfig{MaxDepth: 6}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total() != int64(len(d.X)) {
+		t.Errorf("confusion total %d != samples %d", cm.Total(), len(d.X))
+	}
+	if acc := cm.Accuracy(); acc < 0.95 {
+		t.Errorf("CV accuracy %v on separable blobs", acc)
+	}
+}
+
+func TestCrossValPredictCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := blobDataset(rng, 20, 2)
+	preds, err := CrossValPredict(d, TreeConfig{MaxDepth: 5}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(d.X) {
+		t.Fatal("missing predictions")
+	}
+	correct := 0
+	for i := range preds {
+		if preds[i] == d.Y[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(preds)) < 0.9 {
+		t.Errorf("out-of-fold accuracy %v", float64(correct)/float64(len(preds)))
+	}
+}
+
+func TestConfusionMatrixMetrics(t *testing.T) {
+	cm := NewConfusionMatrix(4)
+	cm.Add(0, 0)
+	cm.Add(1, 1)
+	cm.Add(2, 3) // off by one, overestimate
+	cm.Add(3, 1) // off by two, underestimate
+	if cm.Total() != 4 {
+		t.Errorf("total %d", cm.Total())
+	}
+	if acc := cm.Accuracy(); acc != 0.5 {
+		t.Errorf("accuracy %v", acc)
+	}
+	if ob1 := cm.OffByOneOfMisclassified(); ob1 != 0.5 {
+		t.Errorf("off-by-one %v", ob1)
+	}
+	over, under := cm.OverUnder()
+	if over != 1 || under != 1 {
+		t.Errorf("over/under = %d/%d", over, under)
+	}
+	other := NewConfusionMatrix(4)
+	other.Add(0, 0)
+	cm.Merge(other)
+	if cm.Total() != 5 || cm.Counts[0][0] != 2 {
+		t.Error("merge failed")
+	}
+	if s := cm.String(); len(s) == 0 {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	if cm.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if cm.OffByOneOfMisclassified() != 1 {
+		t.Error("no misclassifications: off-by-one should be 1 (vacuous)")
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	points, best := GridSearch(
+		[]int{5, 10},
+		[]float64{0, 0.01},
+		func(cfg TreeConfig) float64 { return float64(cfg.MaxDepth) - cfg.CCPAlpha },
+	)
+	if len(points) != 4 {
+		t.Fatalf("%d grid points", len(points))
+	}
+	if best.MaxDepth != 10 || best.CCPAlpha != 0 {
+		t.Errorf("best = %+v", best)
+	}
+}
+
+func TestDefaultTreeConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultTreeConfig()
+	if cfg.MaxDepth != 15 || cfg.CCPAlpha != 0.005 {
+		t.Errorf("default config %+v, paper uses D=15, ccp=0.005", cfg)
+	}
+}
+
+func TestGiniImpurity(t *testing.T) {
+	if g := giniImpurity([]int{5, 5}, 10); g != 0.5 {
+		t.Errorf("balanced binary gini %v", g)
+	}
+	if g := giniImpurity([]int{10, 0}, 10); g != 0 {
+		t.Errorf("pure gini %v", g)
+	}
+	if g := giniImpurity([]int{0, 0}, 0); g != 0 {
+		t.Errorf("empty gini %v", g)
+	}
+}
+
+func TestSubsetIndependence(t *testing.T) {
+	d := Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []int{0, 1, 0}, NumClasses: 2}
+	s := d.Subset([]int{2, 0})
+	if len(s.X) != 2 || s.X[0][0] != 3 || s.Y[1] != 0 {
+		t.Errorf("subset wrong: %+v", s)
+	}
+}

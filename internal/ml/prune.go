@@ -1,0 +1,76 @@
+package ml
+
+// Minimal cost-complexity pruning (Breiman et al.), matching scikit-learn's
+// ccp_alpha semantics: repeatedly collapse the internal node with the
+// smallest effective alpha
+//
+//	g(t) = (R(t) - R(T_t)) / (|leaves(T_t)| - 1)
+//
+// while that alpha does not exceed the configured threshold, where R is the
+// resubstitution misclassification cost weighted by sample fraction.
+
+// pruneCCP prunes the tree in place with threshold alpha; total is the
+// training-set size used to weight node error rates.
+func (t *Tree) pruneCCP(alpha float64, total int) {
+	if total <= 0 {
+		return
+	}
+	for {
+		node, g := weakestLink(t.Root, total)
+		if node == nil || g > alpha {
+			return
+		}
+		// Collapse the subtree into a leaf.
+		node.Left = nil
+		node.Right = nil
+		node.Feature = -1
+		node.Threshold = 0
+	}
+}
+
+// nodeError is the weighted resubstitution error R(t) of the node acting as
+// a leaf: fraction of all training samples that pass through t and would be
+// misclassified by its majority class.
+func nodeError(n *Node, total int) float64 {
+	if len(n.counts) == 0 {
+		// Deserialized trees lack counts; treat as unprunable.
+		return 0
+	}
+	wrong := n.Samples - n.counts[n.Class]
+	return float64(wrong) / float64(total)
+}
+
+// subtreeError computes R(T_t): the summed weighted error of the subtree's
+// leaves; leaves also reports the leaf count.
+func subtreeError(n *Node, total int) (err float64, leaves int) {
+	if n.IsLeaf() {
+		return nodeError(n, total), 1
+	}
+	le, ll := subtreeError(n.Left, total)
+	re, rl := subtreeError(n.Right, total)
+	return le + re, ll + rl
+}
+
+// weakestLink finds the internal node with minimal effective alpha.
+func weakestLink(root *Node, total int) (*Node, float64) {
+	var best *Node
+	bestG := 0.0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		subErr, leaves := subtreeError(n, total)
+		if leaves > 1 {
+			g := (nodeError(n, total) - subErr) / float64(leaves-1)
+			if best == nil || g < bestG {
+				best = n
+				bestG = g
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	return best, bestG
+}

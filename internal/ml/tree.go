@@ -1,0 +1,349 @@
+// Package ml implements the machine-learning substrate of WISE from
+// scratch: CART decision-tree classifiers with the Gini split criterion,
+// maximum-depth limiting and minimal cost-complexity pruning (the two knobs
+// the paper tunes in Table 4), plus k-fold cross-validation, confusion
+// matrices, and grid search.
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dataset is a design matrix with integer class labels in [0, NumClasses).
+type Dataset struct {
+	X            [][]float64
+	Y            []int
+	NumClasses   int
+	FeatureNames []string // optional, used for model introspection
+}
+
+// Validate checks shape consistency and label ranges.
+func (d Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d samples vs %d labels", len(d.X), len(d.Y))
+	}
+	if d.NumClasses < 1 {
+		return fmt.Errorf("ml: NumClasses = %d", d.NumClasses)
+	}
+	width := -1
+	for i, x := range d.X {
+		if width == -1 {
+			width = len(x)
+		}
+		if len(x) != width {
+			return fmt.Errorf("ml: sample %d has %d features, want %d", i, len(x), width)
+		}
+		if d.Y[i] < 0 || d.Y[i] >= d.NumClasses {
+			return fmt.Errorf("ml: label %d out of range at sample %d", d.Y[i], i)
+		}
+	}
+	return nil
+}
+
+// Subset returns the dataset restricted to the given sample indices.
+func (d Dataset) Subset(idx []int) Dataset {
+	out := Dataset{NumClasses: d.NumClasses, FeatureNames: d.FeatureNames}
+	out.X = make([][]float64, len(idx))
+	out.Y = make([]int, len(idx))
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// TreeConfig controls tree induction. The paper selects MaxDepth 15 and
+// CCPAlpha 0.005 by grid search (Section 6.5).
+type TreeConfig struct {
+	MaxDepth       int
+	MinSamplesLeaf int
+	CCPAlpha       float64
+}
+
+// DefaultTreeConfig returns the paper's chosen configuration.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 15, MinSamplesLeaf: 1, CCPAlpha: 0.005}
+}
+
+// Node is one tree node; leaves have Left == nil.
+type Node struct {
+	Feature   int     `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	Left      *Node   `json:"left,omitempty"`
+	Right     *Node   `json:"right,omitempty"`
+	Class     int     `json:"class"`
+	Samples   int     `json:"samples"`
+	Impurity  float64 `json:"impurity"`
+	// counts holds per-class sample counts at this node (training only).
+	counts []int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Tree is a fitted CART classifier.
+type Tree struct {
+	Root         *Node    `json:"root"`
+	NumClasses   int      `json:"num_classes"`
+	FeatureNames []string `json:"feature_names,omitempty"`
+}
+
+// Fit grows a CART tree on the dataset with Gini splitting, then applies
+// minimal cost-complexity pruning at cfg.CCPAlpha.
+func Fit(d Dataset, cfg TreeConfig) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.X) == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.MinSamplesLeaf < 1 {
+		cfg.MinSamplesLeaf = 1
+	}
+	idx := make([]int, len(d.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	root := grow(d, idx, cfg, 0)
+	tree := &Tree{Root: root, NumClasses: d.NumClasses, FeatureNames: d.FeatureNames}
+	if cfg.CCPAlpha > 0 {
+		tree.pruneCCP(cfg.CCPAlpha, len(d.X))
+	}
+	return tree, nil
+}
+
+// giniImpurity computes 1 - sum(p_k^2) from class counts.
+func giniImpurity(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		sum += p * p
+	}
+	return 1 - sum
+}
+
+func classCounts(d Dataset, idx []int) []int {
+	counts := make([]int, d.NumClasses)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	return counts
+}
+
+func argmax(counts []int) int {
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// grow recursively induces the tree on the samples in idx.
+func grow(d Dataset, idx []int, cfg TreeConfig, depth int) *Node {
+	counts := classCounts(d, idx)
+	node := &Node{
+		Class:    argmax(counts),
+		Samples:  len(idx),
+		Impurity: giniImpurity(counts, len(idx)),
+		counts:   counts,
+		Feature:  -1,
+	}
+	if node.Impurity == 0 || depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinSamplesLeaf {
+		return node
+	}
+	feature, threshold, gain := bestSplit(d, idx, counts, cfg)
+	if gain <= 0 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinSamplesLeaf || len(right) < cfg.MinSamplesLeaf {
+		return node
+	}
+	node.Feature = feature
+	node.Threshold = threshold
+	node.Left = grow(d, left, cfg, depth+1)
+	node.Right = grow(d, right, cfg, depth+1)
+	return node
+}
+
+// bestSplit scans every feature and threshold, returning the split with the
+// largest Gini impurity decrease. Thresholds are midpoints between adjacent
+// distinct feature values in sorted order.
+func bestSplit(d Dataset, idx []int, parentCounts []int, cfg TreeConfig) (feature int, threshold, gain float64) {
+	n := len(idx)
+	parentImp := giniImpurity(parentCounts, n)
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+	if len(d.X) == 0 {
+		return -1, 0, 0
+	}
+	nFeatures := len(d.X[0])
+	order := make([]int, n)
+	leftCounts := make([]int, d.NumClasses)
+	for f := 0; f < nFeatures; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		nLeft := 0
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftCounts[d.Y[i]]++
+			nLeft++
+			v, next := d.X[i][f], d.X[order[k+1]][f]
+			if v == next {
+				continue // not a valid threshold position
+			}
+			if nLeft < cfg.MinSamplesLeaf || n-nLeft < cfg.MinSamplesLeaf {
+				continue
+			}
+			impL := giniImpurityLeft(leftCounts, nLeft)
+			impR := giniImpurityRight(parentCounts, leftCounts, n-nLeft)
+			weighted := (float64(nLeft)*impL + float64(n-nLeft)*impR) / float64(n)
+			if g := parentImp - weighted; g > bestGain+1e-15 {
+				bestGain = g
+				bestFeature = f
+				bestThreshold = v + (next-v)/2
+				if math.IsInf(bestThreshold, 0) || bestThreshold == next {
+					bestThreshold = v
+				}
+			}
+		}
+	}
+	return bestFeature, bestThreshold, bestGain
+}
+
+func giniImpurityLeft(left []int, n int) float64 { return giniImpurity(left, n) }
+
+func giniImpurityRight(parent, left []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := range parent {
+		p := float64(parent[k]-left[k]) / float64(n)
+		sum += p * p
+	}
+	return 1 - sum
+}
+
+// Predict returns the predicted class for a feature vector.
+func (t *Tree) Predict(x []float64) int {
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Class
+}
+
+// PredictBatch predicts classes for many samples.
+func (t *Tree) PredictBatch(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = t.Predict(x)
+	}
+	return out
+}
+
+// Depth returns the maximum depth of the tree (a lone root has depth 0).
+func (t *Tree) Depth() int { return nodeDepth(t.Root) }
+
+func nodeDepth(n *Node) int {
+	if n.IsLeaf() {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return countLeaves(t.Root) }
+
+func countLeaves(n *Node) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+// Nodes returns the total node count.
+func (t *Tree) Nodes() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// MarshalJSON / UnmarshalJSON give trees a stable persistence format.
+func (t *Tree) Marshal() ([]byte, error) { return json.Marshal(t) }
+
+// UnmarshalTree parses a tree persisted with Marshal.
+func UnmarshalTree(data []byte) (*Tree, error) {
+	var t Tree
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	if t.Root == nil {
+		return nil, fmt.Errorf("ml: tree without root")
+	}
+	return &t, nil
+}
+
+// PathStep is one decision on a root-to-leaf path.
+type PathStep struct {
+	Feature   int
+	Threshold float64
+	Value     float64 // the sample's feature value
+	WentLeft  bool    // true when Value <= Threshold
+}
+
+// DecisionPath returns the sequence of decisions the tree takes for x,
+// ending at the predicted leaf. Useful for explaining why a method was
+// predicted into its speedup class.
+func (t *Tree) DecisionPath(x []float64) []PathStep {
+	var path []PathStep
+	n := t.Root
+	for !n.IsLeaf() {
+		step := PathStep{
+			Feature:   n.Feature,
+			Threshold: n.Threshold,
+			Value:     x[n.Feature],
+			WentLeft:  x[n.Feature] <= n.Threshold,
+		}
+		path = append(path, step)
+		if step.WentLeft {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return path
+}

@@ -1,0 +1,150 @@
+package perf
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+)
+
+// Label persistence: corpus labeling is the dominant cost of the experiment
+// harness (cache-simulating 29 methods per matrix), so wise-bench can save
+// the labels once and reload them for iterating on figures and models.
+
+type persistedLabels struct {
+	Version int              `json:"version"`
+	Labels  []persistedLabel `json:"labels"`
+}
+
+type persistedLabel struct {
+	Name          string    `json:"name"`
+	Class         string    `json:"class"`
+	Rows          int       `json:"rows"`
+	Cols          int       `json:"cols"`
+	NNZ           int64     `json:"nnz"`
+	FeatureNames  []string  `json:"feature_names"`
+	FeatureValues []float64 `json:"feature_values"`
+
+	Methods  []persistedLabelMethod `json:"methods"`
+	BestCSR  persistedLabelMethod   `json:"best_csr"`
+	BestCyc  float64                `json:"best_csr_cycles"`
+	FeatCyc  float64                `json:"feature_cycles"`
+	MKLCyc   float64                `json:"mkl_cycles"`
+	IECyc    float64                `json:"ie_cycles"`
+	IEPrep   float64                `json:"ie_prep_cycles"`
+	IEMethod persistedLabelMethod   `json:"ie_method"`
+}
+
+type persistedLabelMethod struct {
+	Kind  int     `json:"kind"`
+	Sched int     `json:"sched"`
+	C     int     `json:"c"`
+	Sigma int     `json:"sigma"`
+	T     float64 `json:"t"`
+
+	Cycles   float64 `json:"cycles,omitempty"`
+	RelTime  float64 `json:"rel,omitempty"`
+	Class    int     `json:"class,omitempty"`
+	PrepCost float64 `json:"prep,omitempty"`
+}
+
+func toPersistedMethod(m kernels.Method) persistedLabelMethod {
+	return persistedLabelMethod{Kind: int(m.Kind), Sched: int(m.Sched), C: m.C, Sigma: m.Sigma, T: m.T}
+}
+
+func (p persistedLabelMethod) method() kernels.Method {
+	return kernels.Method{Kind: kernels.Kind(p.Kind), Sched: kernels.Sched(p.Sched), C: p.C, Sigma: p.Sigma, T: p.T}
+}
+
+// SaveLabels writes a labeled corpus to path as gzipped JSON.
+func SaveLabels(path string, labels []MatrixLabels) error {
+	out := persistedLabels{Version: 1}
+	for _, l := range labels {
+		pl := persistedLabel{
+			Name: l.Name, Class: string(l.Class),
+			Rows: l.Rows, Cols: l.Cols, NNZ: l.NNZ,
+			FeatureNames:  l.Features.Names,
+			FeatureValues: l.Features.Values,
+			BestCSR:       toPersistedMethod(l.BestCSRMethod),
+			BestCyc:       l.BestCSRCycles,
+			FeatCyc:       l.FeatureCycles,
+			MKLCyc:        l.MKLCycles,
+			IECyc:         l.IECycles,
+			IEPrep:        l.IEPrepCycles,
+			IEMethod:      toPersistedMethod(l.IEMethod),
+		}
+		for i, m := range l.Methods {
+			pm := toPersistedMethod(m)
+			pm.Cycles = l.Cycles[i]
+			pm.RelTime = l.RelTime[i]
+			pm.Class = l.Classes[i]
+			pm.PrepCost = l.PrepCost[i]
+			pl.Methods = append(pl.Methods, pm)
+		}
+		out.Labels = append(out.Labels, pl)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gz := gzip.NewWriter(f)
+	if err := json.NewEncoder(gz).Encode(out); err != nil {
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadLabels reads a labeled corpus saved with SaveLabels.
+func LoadLabels(path string) ([]MatrixLabels, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %s is not a gzipped label file: %w", path, err)
+	}
+	var in persistedLabels
+	if err := json.NewDecoder(gz).Decode(&in); err != nil {
+		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("perf: unsupported label file version %d", in.Version)
+	}
+	var out []MatrixLabels
+	for _, pl := range in.Labels {
+		l := MatrixLabels{
+			Name: pl.Name, Class: gen.Class(pl.Class),
+			Rows: pl.Rows, Cols: pl.Cols, NNZ: pl.NNZ,
+			Features: features.Features{
+				Names:  pl.FeatureNames,
+				Values: pl.FeatureValues,
+			},
+			BestCSRMethod: pl.BestCSR.method(),
+			BestCSRCycles: pl.BestCyc,
+			FeatureCycles: pl.FeatCyc,
+			MKLCycles:     pl.MKLCyc,
+			IECycles:      pl.IECyc,
+			IEPrepCycles:  pl.IEPrep,
+			IEMethod:      pl.IEMethod.method(),
+		}
+		for _, pm := range pl.Methods {
+			l.Methods = append(l.Methods, pm.method())
+			l.Cycles = append(l.Cycles, pm.Cycles)
+			l.RelTime = append(l.RelTime, pm.RelTime)
+			l.Classes = append(l.Classes, pm.Class)
+			l.PrepCost = append(l.PrepCost, pm.PrepCost)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+// Package perf turns cost-model estimates into the paper's training labels:
+// the speedup classes C0-C6 of normalized execution time relative to the
+// best CSR implementation (Section 4.3), plus per-matrix label bundles for
+// the whole corpus and the whole method space.
+package perf
+
+import (
+	"runtime"
+	"sync"
+
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/mkl"
+)
+
+// NumClasses is the number of speedup classes (C0-C6).
+const NumClasses = 7
+
+// classUpper[i] is the exclusive upper bound of class i's normalized
+// execution time range; class i covers (classUpper[i+1], classUpper[i]].
+// C0 = (1.05, inf), C1 = (0.95, 1.05], ..., C6 = (0, 0.55].
+var classUpper = [NumClasses + 1]float64{1e300, 1.05, 0.95, 0.85, 0.75, 0.65, 0.55, 0}
+
+// ClassOf maps a normalized execution time (method cycles / best-CSR cycles;
+// lower is faster) to its speedup class. Values above 1.05 (slowdowns) are
+// C0; values at or below 0.55 (speedup beyond ~2x) are C6.
+func ClassOf(relTime float64) int {
+	for c := 1; c <= NumClasses-1; c++ {
+		if relTime > classUpper[c] {
+			return c - 1
+		}
+	}
+	return NumClasses - 1
+}
+
+// ClassBounds returns the (upper, lower] normalized-time bounds of a class.
+func ClassBounds(c int) (hi, lo float64) {
+	return classUpper[c], classUpper[c+1]
+}
+
+// ClassMidpoint returns a representative normalized time for a class, used
+// when the selection heuristic compares predicted classes numerically. For
+// the open-ended classes it returns a value just inside the boundary.
+func ClassMidpoint(c int) float64 {
+	switch c {
+	case 0:
+		return 1.25
+	case NumClasses - 1:
+		return 0.45
+	default:
+		hi, lo := ClassBounds(c)
+		return (hi + lo) / 2
+	}
+}
+
+// MatrixLabels bundles everything the training and evaluation pipelines
+// need about one matrix: its features, the estimated cycles of every method,
+// normalized times, speedup classes, and preprocessing costs.
+type MatrixLabels struct {
+	Name  string
+	Class gen.Class
+
+	Rows, Cols int
+	NNZ        int64
+
+	Features features.Features
+
+	Methods  []kernels.Method
+	Cycles   []float64 // estimated parallel SpMV cycles per method
+	RelTime  []float64 // Cycles / BestCSRCycles
+	Classes  []int     // ClassOf(RelTime)
+	PrepCost []float64 // format-conversion cycles per method
+
+	BestCSRMethod kernels.Method
+	BestCSRCycles float64
+
+	FeatureCycles float64 // WISE feature-extraction cost
+
+	// Baseline-library comparisons (see internal/mkl).
+	MKLCycles    float64
+	IEMethod     kernels.Method
+	IECycles     float64
+	IEPrepCycles float64
+}
+
+// OracleIndex returns the index of the truly fastest method.
+func (l *MatrixLabels) OracleIndex() int {
+	best := 0
+	for i := range l.Cycles {
+		if l.Cycles[i] < l.Cycles[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// LabelConfig configures corpus labeling.
+type LabelConfig struct {
+	Estimator *costmodel.Estimator
+	Space     []kernels.Method
+	Features  features.Config
+	Workers   int // parallel labeling workers; 0 = GOMAXPROCS
+}
+
+// LabelMatrix computes the full label bundle for one matrix.
+func LabelMatrix(cfg LabelConfig, lm gen.Labeled) MatrixLabels {
+	e := cfg.Estimator
+	m := lm.M
+	out := MatrixLabels{
+		Name:  lm.Name,
+		Class: lm.Class,
+		Rows:  m.Rows,
+		Cols:  m.Cols,
+		NNZ:   int64(m.NNZ()),
+	}
+	out.Features = features.Extract(m, cfg.Features)
+	out.BestCSRMethod, out.BestCSRCycles = e.BestCSR(m)
+	out.Methods = cfg.Space
+	out.Cycles = make([]float64, len(cfg.Space))
+	out.RelTime = make([]float64, len(cfg.Space))
+	out.Classes = make([]int, len(cfg.Space))
+	out.PrepCost = make([]float64, len(cfg.Space))
+	tiles := cfg.Features.K * cfg.Features.K
+	out.FeatureCycles = e.FeatureExtractionCycles(m.Rows, m.Cols, out.NNZ, tiles)
+	for i, method := range cfg.Space {
+		out.Cycles[i] = e.MethodCycles(m, method)
+		if out.BestCSRCycles > 0 {
+			out.RelTime[i] = out.Cycles[i] / out.BestCSRCycles
+		} else {
+			out.RelTime[i] = 1
+		}
+		out.Classes[i] = ClassOf(out.RelTime[i])
+		out.PrepCost[i] = e.PreprocessCycles(m.Rows, m.Cols, out.NNZ, method)
+	}
+
+	// Baseline library comparisons, derived from the estimates above.
+	for i, method := range cfg.Space {
+		if method.Kind == kernels.CSR && method.Sched == kernels.StCont {
+			out.MKLCycles = mkl.BaselineFromCycles(out.Cycles[i])
+		}
+	}
+	ie := mkl.IEFromEstimates(e.Mach.SigmaValues()[1], cfg.Space, out.Cycles, out.PrepCost)
+	out.IEMethod = ie.Chosen
+	out.IECycles = ie.Cycles
+	out.IEPrepCycles = ie.PrepCycles
+	return out
+}
+
+// ExtendLabels appends per-matrix labels for one additional method — the
+// paper's extensibility workflow (Section 7: "we can add new methods without
+// changing already existing models"). corpus must be the same matrices, in
+// the same order, that produced labels. The input slice is not modified.
+func ExtendLabels(cfg LabelConfig, corpus []gen.Labeled, labels []MatrixLabels, method kernels.Method) []MatrixLabels {
+	out := make([]MatrixLabels, len(labels))
+	copy(out, labels)
+	e := cfg.Estimator
+	for i := range out {
+		m := corpus[i].M
+		cycles := e.MethodCycles(m, method)
+		rel := 1.0
+		if out[i].BestCSRCycles > 0 {
+			rel = cycles / out[i].BestCSRCycles
+		}
+		out[i].Methods = append(append([]kernels.Method(nil), out[i].Methods...), method)
+		out[i].Cycles = append(append([]float64(nil), out[i].Cycles...), cycles)
+		out[i].RelTime = append(append([]float64(nil), out[i].RelTime...), rel)
+		out[i].Classes = append(append([]int(nil), out[i].Classes...), ClassOf(rel))
+		out[i].PrepCost = append(append([]float64(nil), out[i].PrepCost...),
+			e.PreprocessCycles(m.Rows, m.Cols, out[i].NNZ, method))
+	}
+	return out
+}
+
+// LabelCorpus labels every matrix, in parallel across matrices. Each worker
+// gets its own Estimator copy (the cache simulator is stateful).
+func LabelCorpus(cfg LabelConfig, corpus []gen.Labeled) []MatrixLabels {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(corpus) {
+		workers = len(corpus)
+	}
+	out := make([]MatrixLabels, len(corpus))
+	if workers <= 1 {
+		for i, lm := range corpus {
+			out[i] = LabelMatrix(cfg, lm)
+		}
+		return out
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ecopy := *cfg.Estimator
+			local := cfg
+			local.Estimator = &ecopy
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(corpus) {
+					return
+				}
+				out[i] = LabelMatrix(local, corpus[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,244 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+)
+
+func TestClassOfBoundaries(t *testing.T) {
+	cases := []struct {
+		rel  float64
+		want int
+	}{
+		{5.0, 0},   // big slowdown
+		{1.06, 0},  //
+		{1.05, 1},  // boundary belongs to C1: (1.05, 0.95] wait — C1 = (1.05-0.95]
+		{1.0, 1},   // parity
+		{0.95, 2},  // boundary
+		{0.9, 2},   //
+		{0.85, 3},  //
+		{0.8, 3},   //
+		{0.75, 4},  //
+		{0.7, 4},   //
+		{0.65, 5},  //
+		{0.6, 5},   //
+		{0.55, 6},  //
+		{0.3, 6},   // >2x speedup
+		{0.001, 6}, //
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.rel); got != c.want {
+			t.Errorf("ClassOf(%v) = C%d, want C%d", c.rel, got, c.want)
+		}
+	}
+}
+
+func TestClassOfMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		// Slower (larger rel time) must never get a faster class (higher C).
+		return ClassOf(b) <= ClassOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassBoundsCoverPositiveAxis(t *testing.T) {
+	for c := 0; c < NumClasses; c++ {
+		hi, lo := ClassBounds(c)
+		if hi <= lo {
+			t.Errorf("class %d bounds inverted: (%v, %v]", c, hi, lo)
+		}
+		if c > 0 {
+			prevHi, prevLo := ClassBounds(c - 1)
+			if prevLo != hi {
+				t.Errorf("gap between class %d and %d: %v vs %v", c-1, c, prevLo, hi)
+			}
+			_ = prevHi
+		}
+		mid := ClassMidpoint(c)
+		if ClassOf(mid) != c {
+			t.Errorf("midpoint %v of class %d classifies as %d", mid, c, ClassOf(mid))
+		}
+	}
+}
+
+func smallLabelConfig() LabelConfig {
+	return LabelConfig{
+		Estimator: costmodel.New(machine.Scaled()),
+		Space:     kernels.ModelSpace(machine.Scaled()),
+		Features:  features.DefaultConfig(),
+		Workers:   1,
+	}
+}
+
+func TestLabelMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lm := gen.Labeled{Name: "t", Class: gen.ClassHS, M: gen.RMAT(rng, 9, 8, gen.HighSkew)}
+	cfg := smallLabelConfig()
+	labels := LabelMatrix(cfg, lm)
+	if labels.Name != "t" || labels.Rows != 512 {
+		t.Fatalf("metadata wrong: %+v", labels)
+	}
+	if len(labels.Cycles) != len(cfg.Space) || len(labels.Classes) != len(cfg.Space) {
+		t.Fatal("per-method arrays wrong length")
+	}
+	// The best CSR method's rel time must be 1 and class C1.
+	foundBaseline := false
+	for i, m := range labels.Methods {
+		if m == labels.BestCSRMethod {
+			if math.Abs(labels.RelTime[i]-1) > 1e-9 {
+				t.Errorf("best CSR rel time = %v", labels.RelTime[i])
+			}
+			if labels.Classes[i] != 1 {
+				t.Errorf("best CSR class = C%d", labels.Classes[i])
+			}
+			foundBaseline = true
+		}
+		if labels.Cycles[i] <= 0 {
+			t.Errorf("%s: non-positive cycles", m)
+		}
+		if labels.Classes[i] != ClassOf(labels.RelTime[i]) {
+			t.Errorf("%s: class inconsistent", m)
+		}
+	}
+	if !foundBaseline {
+		t.Error("best CSR method not in space")
+	}
+	if labels.FeatureCycles <= 0 {
+		t.Error("feature cycles missing")
+	}
+	oracle := labels.OracleIndex()
+	for i := range labels.Cycles {
+		if labels.Cycles[i] < labels.Cycles[oracle] {
+			t.Fatal("OracleIndex not minimal")
+		}
+	}
+}
+
+func TestLabelCorpusParallelMatchesSerial(t *testing.T) {
+	cfg := gen.CorpusConfig{
+		Seed:      3,
+		RowScales: []float64{8},
+		Degrees:   []float64{4},
+		MaxNNZ:    1 << 20,
+		SciCount:  2,
+	}
+	corpus := gen.Corpus(cfg)
+	serialCfg := smallLabelConfig()
+	serial := LabelCorpus(serialCfg, corpus)
+	parallelCfg := smallLabelConfig()
+	parallelCfg.Workers = 4
+	parallel := LabelCorpus(parallelCfg, corpus)
+	if len(serial) != len(parallel) {
+		t.Fatal("length mismatch")
+	}
+	for i := range serial {
+		if serial[i].Name != parallel[i].Name {
+			t.Fatal("order not preserved")
+		}
+		for j := range serial[i].Cycles {
+			if serial[i].Cycles[j] != parallel[i].Cycles[j] {
+				t.Fatalf("%s method %d: serial %v != parallel %v",
+					serial[i].Name, j, serial[i].Cycles[j], parallel[i].Cycles[j])
+			}
+		}
+	}
+}
+
+func TestLabelsProduceMultipleClasses(t *testing.T) {
+	// Across a diverse mini-corpus the labels must not collapse into a
+	// single class (otherwise there is nothing for the models to learn).
+	cfg := gen.CorpusConfig{
+		Seed:      4,
+		RowScales: []float64{9, 11},
+		Degrees:   []float64{4, 16},
+		MaxNNZ:    1 << 21,
+		SciCount:  4,
+	}
+	corpus := gen.Corpus(cfg)
+	labels := LabelCorpus(smallLabelConfig(), corpus)
+	seen := map[int]bool{}
+	for _, l := range labels {
+		for _, c := range l.Classes {
+			seen[c] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("only %d distinct classes across corpus: %v", len(seen), seen)
+	}
+}
+
+func TestLabelsSaveLoadRoundTrip(t *testing.T) {
+	cfg := gen.CorpusConfig{
+		Seed:      5,
+		RowScales: []float64{8},
+		Degrees:   []float64{4},
+		MaxNNZ:    1 << 20,
+		SciCount:  3,
+	}
+	corpus := gen.Corpus(cfg)
+	labels := LabelCorpus(smallLabelConfig(), corpus)
+	path := t.TempDir() + "/labels.json.gz"
+	if err := SaveLabels(path, labels); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLabels(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(labels) {
+		t.Fatalf("got %d labels, want %d", len(back), len(labels))
+	}
+	for i := range labels {
+		a, b := labels[i], back[i]
+		if a.Name != b.Name || a.Class != b.Class || a.NNZ != b.NNZ {
+			t.Fatalf("metadata mismatch at %d", i)
+		}
+		if a.BestCSRMethod != b.BestCSRMethod || a.BestCSRCycles != b.BestCSRCycles {
+			t.Fatal("best CSR mismatch")
+		}
+		if a.MKLCycles != b.MKLCycles || a.IECycles != b.IECycles || a.IEPrepCycles != b.IEPrepCycles {
+			t.Fatal("baseline fields mismatch")
+		}
+		for j := range a.Methods {
+			if a.Methods[j] != b.Methods[j] || a.Cycles[j] != b.Cycles[j] ||
+				a.Classes[j] != b.Classes[j] || a.RelTime[j] != b.RelTime[j] ||
+				a.PrepCost[j] != b.PrepCost[j] {
+				t.Fatalf("method %d mismatch at matrix %d", j, i)
+			}
+		}
+		for k := range a.Features.Values {
+			if a.Features.Values[k] != b.Features.Values[k] {
+				t.Fatal("features mismatch")
+			}
+		}
+	}
+}
+
+func TestLoadLabelsErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadLabels(dir + "/missing.gz"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := dir + "/bad.gz"
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLabels(bad); err == nil {
+		t.Error("non-gzip accepted")
+	}
+}

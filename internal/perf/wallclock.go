@@ -1,0 +1,151 @@
+package perf
+
+import (
+	"math"
+	"time"
+
+	"wise/internal/kernels"
+	"wise/internal/matrix"
+)
+
+// Wall-clock measurement: the paper's original protocol (time real kernels
+// on real hardware). The cost model is the default labeler in this
+// reproduction because it is deterministic and host-independent, but the
+// real path exists for anyone running on a serious multicore machine —
+// and for validating that the model's method rankings correlate with real
+// executions on this host.
+
+// WallClockConfig controls real-kernel timing.
+type WallClockConfig struct {
+	Workers    int           // SpMV workers (0 = GOMAXPROCS)
+	WarmupRuns int           // untimed executions before measurement
+	MinRuns    int           // at least this many timed executions
+	MinTime    time.Duration // and at least this much accumulated time
+	RowBlock   int           // CSR scheduling granularity
+}
+
+// DefaultWallClockConfig returns a measurement setup balancing cost and
+// stability.
+func DefaultWallClockConfig() WallClockConfig {
+	return WallClockConfig{
+		Workers:    0,
+		WarmupRuns: 1,
+		MinRuns:    3,
+		MinTime:    2 * time.Millisecond,
+		RowBlock:   64,
+	}
+}
+
+// MeasureFormat times y = A*x on a built format and returns the best
+// (minimum) per-iteration wall time observed — minimum, not mean, because
+// SpMV noise is one-sided (interference only slows it down).
+func MeasureFormat(f kernels.Format, rows, cols int, cfg WallClockConfig) time.Duration {
+	x := matrix.Ones(cols)
+	y := make([]float64, rows)
+	for i := 0; i < cfg.WarmupRuns; i++ {
+		f.SpMVParallel(y, x, cfg.Workers)
+	}
+	best := time.Duration(1<<63 - 1)
+	var accumulated time.Duration
+	runs := 0
+	for runs < cfg.MinRuns || accumulated < cfg.MinTime {
+		t0 := time.Now()
+		f.SpMVParallel(y, x, cfg.Workers)
+		d := time.Since(t0)
+		if d < best {
+			best = d
+		}
+		accumulated += d
+		runs++
+		if runs > 10_000 {
+			break
+		}
+	}
+	return best
+}
+
+// MeasureMethods times every method of the space on the matrix (building
+// each format, untimed) and returns per-method best iteration times aligned
+// with space.
+func MeasureMethods(m *matrix.CSR, space []kernels.Method, cfg WallClockConfig) []time.Duration {
+	out := make([]time.Duration, len(space))
+	for i, method := range space {
+		f := kernels.Build(m, method, cfg.RowBlock)
+		out[i] = MeasureFormat(f, m.Rows, m.Cols, cfg)
+	}
+	return out
+}
+
+// MeasureBestCSR times the three CSR scheduling variants and returns the
+// fastest — the wall-clock analogue of Estimator.BestCSR.
+func MeasureBestCSR(m *matrix.CSR, cfg WallClockConfig) (kernels.Method, time.Duration) {
+	best := kernels.Method{Kind: kernels.CSR, Sched: kernels.Dyn}
+	bestTime := time.Duration(1<<63 - 1)
+	for _, method := range kernels.CSRMethods() {
+		f := kernels.Build(m, method, cfg.RowBlock)
+		if d := MeasureFormat(f, m.Rows, m.Cols, cfg); d < bestTime {
+			bestTime = d
+			best = method
+		}
+	}
+	return best, bestTime
+}
+
+// RankCorrelation computes Spearman's rank correlation between two
+// equal-length slices (e.g. model-estimated cycles vs measured wall times
+// over the method space). Returns a value in [-1, 1]; 1 means identical
+// ranking. Ties get fractional ranks.
+func RankCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	n := float64(len(a))
+	var meanA, meanB float64
+	for i := range ra {
+		meanA += ra[i]
+		meanB += rb[i]
+	}
+	meanA /= n
+	meanB /= n
+	var cov, varA, varB float64
+	for i := range ra {
+		da, db := ra[i]-meanA, rb[i]-meanB
+		cov += da * db
+		varA += da * da
+		varB += db * db
+	}
+	if varA == 0 || varB == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(varA) * math.Sqrt(varB))
+}
+
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by value: n is the method-space size (~30).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && v[idx[j]] < v[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	out := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := (float64(i) + float64(j)) / 2
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

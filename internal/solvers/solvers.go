@@ -1,0 +1,255 @@
+// Package solvers implements the iterative methods that motivate WISE
+// (paper Section 1: "many applications utilizing the SpMV kernel are
+// iterative, executing SpMV many times with the same sparse input matrix"):
+// conjugate gradients, BiCGSTAB, Jacobi, and power iteration. Each takes the
+// SpMV operator as a function, so any WISE-selected format drives the
+// solve and the one-time format-selection cost amortizes across iterations.
+package solvers
+
+import (
+	"errors"
+	"math"
+
+	"wise/internal/kernels"
+	"wise/internal/matrix"
+)
+
+// Operator applies y = A*x. y and x must not alias.
+type Operator func(y, x []float64)
+
+// FromFormat adapts a built SpMV format into an Operator running with the
+// given worker count (0 = GOMAXPROCS).
+func FromFormat(f kernels.Format, workers int) Operator {
+	return func(y, x []float64) { f.SpMVParallel(y, x, workers) }
+}
+
+// FromCSR adapts a raw CSR matrix (reference kernel) into an Operator.
+func FromCSR(m *matrix.CSR) Operator {
+	return func(y, x []float64) { m.SpMV(y, x) }
+}
+
+// Result reports the outcome of an iterative solve.
+type Result struct {
+	Iterations int
+	Residual   float64 // final ||b - A*x|| (or method-specific residual norm)
+	Converged  bool
+}
+
+// ErrBreakdown is returned when a Krylov method hits a zero denominator
+// (numerical breakdown), e.g. on an indefinite or inconsistent system.
+var ErrBreakdown = errors.New("solvers: numerical breakdown")
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// CG solves A*x = b for symmetric positive-definite A with the conjugate
+// gradient method. x holds the initial guess and is updated in place.
+// Convergence is ||r|| <= tol*||b||.
+func CG(op Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	op(ap, x)
+	for i := range r {
+		r[i] = b[i] - ap[i]
+	}
+	copy(p, r)
+	rr := Dot(r, r)
+	bNorm := math.Sqrt(Dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	target := tol * bNorm
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(rr) <= target {
+			return Result{Iterations: k, Residual: math.Sqrt(rr), Converged: true}, nil
+		}
+		op(ap, p)
+		pap := Dot(p, ap)
+		if pap == 0 || math.IsNaN(pap) {
+			return Result{Iterations: k, Residual: math.Sqrt(rr)}, ErrBreakdown
+		}
+		alpha := rr / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		rrNew := Dot(r, r)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	return Result{Iterations: maxIter, Residual: math.Sqrt(rr), Converged: math.Sqrt(rr) <= target}, nil
+}
+
+// BiCGSTAB solves A*x = b for general nonsymmetric A. x holds the initial
+// guess and is updated in place.
+func BiCGSTAB(op Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	r := make([]float64, n)
+	rHat := make([]float64, n)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+
+	op(v, x)
+	for i := range r {
+		r[i] = b[i] - v[i]
+	}
+	copy(rHat, r)
+	for i := range v {
+		v[i] = 0
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	bNorm := math.Sqrt(Dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	target := tol * bNorm
+	for k := 0; k < maxIter; k++ {
+		res := math.Sqrt(Dot(r, r))
+		if res <= target {
+			return Result{Iterations: k, Residual: res, Converged: true}, nil
+		}
+		rhoNew := Dot(rHat, r)
+		if rhoNew == 0 {
+			return Result{Iterations: k, Residual: res}, ErrBreakdown
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		op(v, p)
+		den := Dot(rHat, v)
+		if den == 0 {
+			return Result{Iterations: k, Residual: res}, ErrBreakdown
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		op(t, s)
+		tt := Dot(t, t)
+		if tt == 0 {
+			// s is the exact remaining residual direction; x += alpha*p ends it.
+			Axpy(alpha, p, x)
+			copy(r, s)
+			continue
+		}
+		omega = Dot(t, s) / tt
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if omega == 0 {
+			return Result{Iterations: k + 1, Residual: math.Sqrt(Dot(r, r))}, ErrBreakdown
+		}
+	}
+	res := math.Sqrt(Dot(r, r))
+	return Result{Iterations: maxIter, Residual: res, Converged: res <= target}, nil
+}
+
+// Jacobi solves A*x = b with Jacobi iteration: x' = D^-1 (b - R*x). It needs
+// the matrix itself (for the diagonal); convergence requires (weak) diagonal
+// dominance. x holds the initial guess and is updated in place.
+func Jacobi(m *matrix.CSR, b, x []float64, tol float64, maxIter int) (Result, error) {
+	if m.Rows != m.Cols {
+		return Result{}, errors.New("solvers: Jacobi needs a square matrix")
+	}
+	n := m.Rows
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols, vals := m.Row(i)
+		for k := range cols {
+			if int(cols[k]) == i {
+				diag[i] = vals[k]
+			}
+		}
+		if diag[i] == 0 {
+			return Result{}, errors.New("solvers: Jacobi needs a nonzero diagonal")
+		}
+	}
+	next := make([]float64, n)
+	ax := make([]float64, n)
+	bNorm := math.Sqrt(Dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	for k := 0; k < maxIter; k++ {
+		m.SpMV(ax, x)
+		var res float64
+		for i := 0; i < n; i++ {
+			r := b[i] - ax[i]
+			res += r * r
+			next[i] = x[i] + r/diag[i]
+		}
+		res = math.Sqrt(res)
+		if res <= tol*bNorm {
+			return Result{Iterations: k, Residual: res, Converged: true}, nil
+		}
+		copy(x, next)
+	}
+	m.SpMV(ax, x)
+	var res float64
+	for i := range ax {
+		r := b[i] - ax[i]
+		res += r * r
+	}
+	res = math.Sqrt(res)
+	return Result{Iterations: maxIter, Residual: res, Converged: res <= tol*bNorm}, nil
+}
+
+// PowerIteration estimates the dominant eigenvalue (by magnitude) and its
+// eigenvector. x holds the initial guess (nonzero) and is normalized in
+// place to the final eigenvector estimate.
+func PowerIteration(op Operator, x []float64, tol float64, maxIter int) (float64, Result) {
+	n := len(x)
+	y := make([]float64, n)
+	normalize(x)
+	lambda := 0.0
+	for k := 0; k < maxIter; k++ {
+		op(y, x)
+		newLambda := Dot(x, y)
+		nrm := math.Sqrt(Dot(y, y))
+		if nrm == 0 {
+			return 0, Result{Iterations: k, Converged: true}
+		}
+		for i := range x {
+			x[i] = y[i] / nrm
+		}
+		if k > 0 && math.Abs(newLambda-lambda) <= tol*math.Abs(newLambda) {
+			return newLambda, Result{Iterations: k + 1, Residual: math.Abs(newLambda - lambda), Converged: true}
+		}
+		lambda = newLambda
+	}
+	return lambda, Result{Iterations: maxIter, Residual: math.NaN()}
+}
+
+func normalize(x []float64) {
+	nrm := math.Sqrt(Dot(x, x))
+	if nrm == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= nrm
+	}
+}

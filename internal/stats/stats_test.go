@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.PRatio != 0.5 {
+		t.Fatalf("empty PRatio = %v, want 0.5", s.PRatio)
+	}
+	if s.Mean != 0 || s.NonEmpty != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]int64{1, 2, 3, 4})
+	if !almostEq(s.Mean, 2.5, 1e-12) {
+		t.Errorf("Mean = %v, want 2.5", s.Mean)
+	}
+	if !almostEq(s.Variance, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25", s.Variance)
+	}
+	if !almostEq(s.Std, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Errorf("Min/Max = %v/%v, want 1/4", s.Min, s.Max)
+	}
+	if s.NonEmpty != 4 {
+		t.Errorf("NonEmpty = %d, want 4", s.NonEmpty)
+	}
+}
+
+func TestSummarizeCountsZeros(t *testing.T) {
+	s := Summarize([]int64{0, 5, 0, 5})
+	if s.NonEmpty != 2 {
+		t.Errorf("NonEmpty = %d, want 2", s.NonEmpty)
+	}
+	if s.Min != 0 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestGiniBalanced(t *testing.T) {
+	if g := Gini([]int64{7, 7, 7, 7, 7}); !almostEq(g, 0, 1e-12) {
+		t.Errorf("balanced Gini = %v, want 0", g)
+	}
+}
+
+func TestGiniMaxImbalance(t *testing.T) {
+	// All mass in a single bucket of n: G = (n-1)/n.
+	n := 1000
+	counts := make([]int64, n)
+	counts[0] = 12345
+	want := float64(n-1) / float64(n)
+	if g := Gini(counts); !almostEq(g, want, 1e-9) {
+		t.Errorf("single-bucket Gini = %v, want %v", g, want)
+	}
+}
+
+func TestGiniDegenerate(t *testing.T) {
+	if g := Gini(nil); g != 0 {
+		t.Errorf("nil Gini = %v", g)
+	}
+	if g := Gini([]int64{42}); g != 0 {
+		t.Errorf("singleton Gini = %v", g)
+	}
+	if g := Gini([]int64{0, 0, 0}); g != 0 {
+		t.Errorf("zero-mass Gini = %v", g)
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// {0, 1}: G = 0.5 for two buckets.
+	if g := Gini([]int64{0, 1}); !almostEq(g, 0.5, 1e-12) {
+		t.Errorf("Gini({0,1}) = %v, want 0.5", g)
+	}
+}
+
+func TestGiniOrderInvariant(t *testing.T) {
+	a := []int64{9, 1, 4, 0, 7, 3}
+	b := []int64{0, 1, 3, 4, 7, 9}
+	if ga, gb := Gini(a), Gini(b); !almostEq(ga, gb, 1e-12) {
+		t.Errorf("Gini order-dependent: %v vs %v", ga, gb)
+	}
+}
+
+func TestGiniRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		counts := make([]int64, len(raw))
+		for i, v := range raw {
+			counts[i] = int64(v)
+		}
+		g := Gini(counts)
+		return g >= 0 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRatioBalanced(t *testing.T) {
+	if p := PRatio([]int64{3, 3, 3, 3}); !almostEq(p, 0.5, 1e-9) {
+		t.Errorf("balanced PRatio = %v, want 0.5", p)
+	}
+}
+
+func TestPRatioImbalanced(t *testing.T) {
+	// One bucket with everything out of n: p-ratio ~ 1/n (tiny).
+	n := 1000
+	counts := make([]int64, n)
+	counts[0] = 1 << 20
+	p := PRatio(counts)
+	if p > 0.01 {
+		t.Errorf("maximally imbalanced PRatio = %v, want near 0", p)
+	}
+}
+
+func TestPRatioDegenerate(t *testing.T) {
+	if p := PRatio(nil); p != 0.5 {
+		t.Errorf("nil PRatio = %v, want 0.5", p)
+	}
+	if p := PRatio([]int64{0, 0}); p != 0.5 {
+		t.Errorf("zero-mass PRatio = %v, want 0.5", p)
+	}
+}
+
+func TestPRatioPowerLaw(t *testing.T) {
+	// An 80/20-style distribution should land near p = 0.2.
+	counts := make([]int64, 100)
+	for i := 0; i < 20; i++ {
+		counts[i] = 40 // top 20% hold 800 of 1120 total = 71%
+	}
+	for i := 20; i < 100; i++ {
+		counts[i] = 4
+	}
+	p := PRatio(counts)
+	if p < 0.15 || p > 0.3 {
+		t.Errorf("power-law PRatio = %v, want in [0.15,0.3]", p)
+	}
+}
+
+func TestPRatioRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		counts := make([]int64, len(raw))
+		for i, v := range raw {
+			counts[i] = int64(v)
+		}
+		p := PRatio(counts)
+		return p > 0 && p <= 0.5+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRatioMonotoneUnderSkew(t *testing.T) {
+	// Increasing skew must not increase the p-ratio.
+	base := []int64{10, 10, 10, 10, 10, 10, 10, 10}
+	prev := PRatio(base)
+	for shift := 0; shift < 6; shift++ {
+		skewed := make([]int64, len(base))
+		copy(skewed, base)
+		// Move mass from the tail to the head.
+		for i := 0; i <= shift; i++ {
+			skewed[0] += base[len(base)-1-i] - 1
+			skewed[len(base)-1-i] = 1
+		}
+		p := PRatio(skewed)
+		if p > prev+1e-9 {
+			t.Errorf("PRatio increased under skew at shift %d: %v > %v", shift, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); !almostEq(m, 2, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if g := GeoMean([]float64{1, 4}); !almostEq(g, 2, 1e-12) {
+		t.Errorf("GeoMean = %v", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Errorf("GeoMean of non-positives = %v", g)
+	}
+	if g := GeoMean([]float64{2, 0, 8}); !almostEq(g, 4, 1e-12) {
+		t.Errorf("GeoMean ignoring zero = %v", g)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0.05, 0.25, 0.95, -5, 99}, 0, 1, 10)
+	if len(counts) != 10 || len(edges) != 11 {
+		t.Fatalf("shape wrong: %d bins, %d edges", len(counts), len(edges))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram lost values: total = %d", total)
+	}
+	if counts[0] != 2 { // 0.1 and clamped -5
+		t.Errorf("first bin = %d, want 2", counts[0])
+	}
+	if counts[9] != 2 { // 0.95 and clamped 99
+		t.Errorf("last bin = %d, want 2", counts[9])
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if c, e := Histogram([]float64{1}, 0, 0, 10); c != nil || e != nil {
+		t.Error("degenerate range should return nil")
+	}
+	if c, e := Histogram([]float64{1}, 0, 1, 0); c != nil || e != nil {
+		t.Error("zero bins should return nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(vals, 0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(vals, 100); p != 5 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := Percentile(vals, 50); p != 3 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := Percentile(vals, 25); p != 2 {
+		t.Errorf("p25 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+}
+
+func TestSummarizeMatchesComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		counts := make([]int64, n)
+		for i := range counts {
+			counts[i] = int64(rng.Intn(100))
+		}
+		s := Summarize(counts)
+		if !almostEq(s.Gini, Gini(counts), 1e-12) {
+			t.Fatalf("Summary.Gini mismatch")
+		}
+		if !almostEq(s.PRatio, PRatio(counts), 1e-12) {
+			t.Fatalf("Summary.PRatio mismatch")
+		}
+		if !almostEq(s.Std*s.Std, s.Variance, 1e-9) {
+			t.Fatalf("Std^2 != Variance")
+		}
+	}
+}

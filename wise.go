@@ -1,0 +1,220 @@
+// Package wise is the public API of the WISE reproduction — an ML framework
+// that predicts the speedup of SpMV methods over a baseline for a given
+// sparse matrix and selects the best method (Yesil et al., "WISE: Predicting
+// the Performance of Sparse Matrix Vector Multiplication with Machine
+// Learning", PPoPP 2023).
+//
+// Typical use:
+//
+//	corpus := wise.GenerateCorpus(wise.DefaultCorpusConfig())
+//	fw, _ := wise.Train(corpus, wise.DefaultConfig())
+//	sel, format := fw.Prepare(myMatrix)   // pick method + build its layout
+//	format.SpMVParallel(y, x, 0)          // run SpMV with the chosen method
+//
+// The heavy lifting lives in internal packages; this package re-exports the
+// stable surface: sparse matrices (CSR/COO, MatrixMarket I/O), the SpMV
+// method space, corpus generators, the machine/cost models, and the trained
+// framework.
+package wise
+
+import (
+	"fmt"
+
+	"wise/internal/core"
+	"wise/internal/costmodel"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/matrix"
+	"wise/internal/ml"
+	"wise/internal/perf"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the single
+// source of truth while giving users stable public names.
+type (
+	// Matrix is a CSR sparse matrix.
+	Matrix = matrix.CSR
+	// COO is a coordinate-format builder for Matrix.
+	COO = matrix.COO
+	// Method is one {SpMV method, parameter} combination.
+	Method = kernels.Method
+	// Format is a built, executable SpMV representation.
+	Format = kernels.Format
+	// Machine is the machine model used for method parameters and the
+	// execution-time estimator.
+	Machine = machine.Machine
+	// Features is a named matrix feature vector (paper Table 2).
+	Features = features.Features
+	// Selection is WISE's method choice for one matrix.
+	Selection = core.Selection
+	// CorpusConfig controls training-corpus generation (paper Section 4.5).
+	CorpusConfig = gen.CorpusConfig
+	// LabeledMatrix is a corpus matrix with provenance.
+	LabeledMatrix = gen.Labeled
+	// Estimator is the deterministic cost model standing in for wall-clock
+	// measurement on the paper's 24-core AVX-512 server.
+	Estimator = costmodel.Estimator
+	// EvalResult aggregates an end-to-end evaluation (paper Sections 6.3-6.4).
+	EvalResult = core.EvalResult
+)
+
+// Method families and scheduling policies.
+const (
+	CSR        = kernels.CSR
+	SELLPACK   = kernels.SELLPACK
+	SellCSigma = kernels.SellCSigma
+	SellCR     = kernels.SellCR
+	LAV1Seg    = kernels.LAV1Seg
+	LAV        = kernels.LAV
+
+	Dyn    = kernels.Dyn
+	St     = kernels.St
+	StCont = kernels.StCont
+)
+
+// NewCOO returns an empty coordinate-format matrix builder.
+func NewCOO(rows, cols int) *COO { return matrix.NewCOO(rows, cols) }
+
+// ReadMatrixMarket reads a MatrixMarket file from disk.
+func ReadMatrixMarket(path string) (*Matrix, error) { return matrix.ReadFile(path) }
+
+// WriteMatrixMarket writes a matrix to disk in MatrixMarket format.
+func WriteMatrixMarket(path string, m *Matrix) error { return matrix.WriteFile(path, m) }
+
+// ScaledMachine returns the scaled-down experiment machine (default), and
+// PaperMachine the paper's 24-core Skylake constants.
+func ScaledMachine() Machine { return machine.Scaled() }
+
+// PaperMachine returns the paper's evaluation machine model.
+func PaperMachine() Machine { return machine.Skylake24() }
+
+// ModelSpace enumerates the 29 {method, parameter} combinations of the
+// paper's Section 4.3 for a machine.
+func ModelSpace(m Machine) []Method { return kernels.ModelSpace(m) }
+
+// BuildFormat constructs the executable layout for any method.
+func BuildFormat(m *Matrix, method Method, mach Machine) Format {
+	return kernels.Build(m, method, mach.RowBlock)
+}
+
+// ExtractFeatures computes the WISE feature vector of a matrix with the
+// default tiling.
+func ExtractFeatures(m *Matrix) Features {
+	return features.Extract(m, features.DefaultConfig())
+}
+
+// DefaultCorpusConfig returns the scaled default training corpus
+// configuration; FullCorpusConfig approximates the paper's corpus shape.
+func DefaultCorpusConfig() CorpusConfig { return gen.DefaultCorpusConfig() }
+
+// FullCorpusConfig approximates the paper's 1,462-matrix corpus at scale.
+func FullCorpusConfig() CorpusConfig { return gen.FullCorpusConfig() }
+
+// GenerateCorpus generates the science-like + RMAT/RGG training corpus.
+func GenerateCorpus(cfg CorpusConfig) []LabeledMatrix { return gen.Corpus(cfg) }
+
+// Config bundles the training hyperparameters.
+type Config struct {
+	Machine  Machine
+	FeatureK int // tiling factor (paper: 2048; scaled default: 64)
+	Tree     ml.TreeConfig
+	Workers  int // parallel labeling workers; 0 = GOMAXPROCS
+}
+
+// DefaultConfig returns the paper's hyperparameters on the scaled machine.
+func DefaultConfig() Config {
+	return Config{
+		Machine:  machine.Scaled(),
+		FeatureK: features.DefaultConfig().K,
+		Tree:     ml.DefaultTreeConfig(),
+	}
+}
+
+// Framework is a trained WISE instance.
+type Framework struct {
+	inner  *core.WISE
+	labels []perf.MatrixLabels
+	corpus []LabeledMatrix
+	cfg    Config
+}
+
+// Train labels the corpus with the cost model and fits one decision tree
+// per {method, parameter} combination.
+func Train(corpus []LabeledMatrix, cfg Config) (*Framework, error) {
+	fcfg := features.Config{K: cfg.FeatureK}
+	labels := perf.LabelCorpus(perf.LabelConfig{
+		Estimator: costmodel.New(cfg.Machine),
+		Space:     kernels.ModelSpace(cfg.Machine),
+		Features:  fcfg,
+		Workers:   cfg.Workers,
+	}, corpus)
+	w, err := core.Train(labels, cfg.Tree, fcfg, cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{inner: w, labels: labels, corpus: corpus, cfg: cfg}, nil
+}
+
+// ExtensionMethods returns extra {method, parameter} combinations beyond the
+// paper's 29-model grid (currently the Cagra-style cache-blocked SegCSR),
+// sized for the machine's LLC.
+func ExtensionMethods(mach Machine) []Method {
+	return kernels.ExtensionMethods(mach.LLCDoubles())
+}
+
+// Extend labels the training corpus for one new method and adds its
+// performance model, leaving every existing model untouched — the paper's
+// Section 7 extensibility property. Only frameworks created by Train (which
+// retain their corpus) can be extended; loaded frameworks cannot.
+func (f *Framework) Extend(method Method) error {
+	if f.corpus == nil {
+		return fmt.Errorf("wise: cannot extend a framework without its training corpus (loaded from disk?)")
+	}
+	lcfg := perf.LabelConfig{
+		Estimator: costmodel.New(f.cfg.Machine),
+		Space:     kernels.ModelSpace(f.cfg.Machine),
+		Features:  features.Config{K: f.cfg.FeatureK},
+	}
+	extended := perf.ExtendLabels(lcfg, f.corpus, f.labels, method)
+	if err := f.inner.Extend(extended, method, f.cfg.Tree); err != nil {
+		return err
+	}
+	f.labels = extended
+	return nil
+}
+
+// Select extracts features and picks the best method for the matrix.
+func (f *Framework) Select(m *Matrix) Selection { return f.inner.Select(m) }
+
+// Prepare selects a method and builds its executable format (steps 1-4 of
+// the paper's Figure 8).
+func (f *Framework) Prepare(m *Matrix) (Selection, Format) { return f.inner.Prepare(m) }
+
+// Multiply selects, transforms, and runs y = A*x with the chosen method.
+func (f *Framework) Multiply(y, x []float64, m *Matrix) Selection {
+	return f.inner.Multiply(y, x, m)
+}
+
+// Save persists the trained models as JSON.
+func (f *Framework) Save(path string) error { return f.inner.Save(path) }
+
+// Evaluate reruns the paper's end-to-end protocol on the training corpus
+// with k-fold cross-validation (out-of-fold selections).
+func (f *Framework) Evaluate(folds int, seed int64) (EvalResult, error) {
+	return core.Evaluate(f.labels, ml.DefaultTreeConfig(), folds, seed)
+}
+
+// Load restores a framework saved with Save. Evaluation requires labels and
+// is unavailable on loaded frameworks; selection and multiplication work.
+func Load(path string, mach Machine) (*Framework, error) {
+	w, err := core.Load(path, mach)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{inner: w}, nil
+}
+
+// NewEstimator returns the deterministic cost model for a machine.
+func NewEstimator(mach Machine) *Estimator { return costmodel.New(mach) }

@@ -1,0 +1,194 @@
+package wise
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wise/internal/matrix"
+)
+
+// smallCorpus is a fast corpus for API tests.
+func smallCorpus() CorpusConfig {
+	return CorpusConfig{
+		Seed:      1,
+		RowScales: []float64{9, 11},
+		Degrees:   []float64{4, 16},
+		MaxNNZ:    1 << 20,
+		SciCount:  6,
+	}
+}
+
+var cachedFW *Framework
+
+func trained(t testing.TB) *Framework {
+	t.Helper()
+	if cachedFW == nil {
+		fw, err := Train(GenerateCorpus(smallCorpus()), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedFW = fw
+	}
+	return cachedFW
+}
+
+func TestPublicAPITrainSelectMultiply(t *testing.T) {
+	fw := trained(t)
+	m := matrix.Fig1Example()
+	sel := fw.Select(m)
+	if err := sel.Method.Validate(); err != nil {
+		t.Fatalf("selected invalid method: %v", err)
+	}
+	x := matrix.Iota(m.Cols)
+	want := make([]float64, m.Rows)
+	m.SpMV(want, x)
+	got := make([]float64, m.Rows)
+	fw.Multiply(got, x, m)
+	if matrix.MaxAbsDiff(want, got) > 1e-9 {
+		t.Error("public Multiply incorrect")
+	}
+}
+
+func TestPublicAPIPrepareReuse(t *testing.T) {
+	fw := trained(t)
+	m := matrix.Fig1Example()
+	_, format := fw.Prepare(m)
+	x := matrix.Iota(m.Cols)
+	want := make([]float64, m.Rows)
+	m.SpMV(want, x)
+	got := make([]float64, m.Rows)
+	for iter := 0; iter < 3; iter++ { // iterative use, same format
+		format.SpMV(got, x)
+		if matrix.MaxAbsDiff(want, got) > 1e-9 {
+			t.Fatal("prepared format wrong")
+		}
+	}
+}
+
+func TestPublicAPISaveLoad(t *testing.T) {
+	fw := trained(t)
+	path := filepath.Join(t.TempDir(), "wise.json")
+	if err := fw.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path, ScaledMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.Fig1Example()
+	if back.Select(m).Method != fw.Select(m).Method {
+		t.Error("loaded framework selects differently")
+	}
+}
+
+func TestPublicAPIEvaluate(t *testing.T) {
+	fw := trained(t)
+	res, err := fw.Evaluate(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanOracleSpeedup < res.MeanWISESpeedup {
+		t.Error("oracle below WISE")
+	}
+}
+
+func TestPublicAPIModelSpace(t *testing.T) {
+	if n := len(ModelSpace(PaperMachine())); n != 29 {
+		t.Errorf("model space = %d, want 29", n)
+	}
+}
+
+func TestPublicAPIMatrixMarketRoundTrip(t *testing.T) {
+	m := matrix.Fig1Example()
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := WriteMatrixMarket(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("round trip changed matrix")
+	}
+}
+
+func TestPublicAPIBuildFormat(t *testing.T) {
+	m := matrix.Fig1Example()
+	for _, method := range ModelSpace(ScaledMachine()) {
+		f := BuildFormat(m, method, ScaledMachine())
+		x := matrix.Ones(m.Cols)
+		y := make([]float64, m.Rows)
+		f.SpMVParallel(y, x, 2)
+	}
+}
+
+func TestPublicAPIFeatures(t *testing.T) {
+	f := ExtractFeatures(matrix.Fig1Example())
+	if f.Get("nnz") != 17 {
+		t.Error("feature extraction broken through public API")
+	}
+}
+
+func TestPublicAPIEstimator(t *testing.T) {
+	e := NewEstimator(ScaledMachine())
+	m := matrix.Fig1Example()
+	if c := e.CSRCycles(m, Dyn); c <= 0 {
+		t.Error("estimator broken through public API")
+	}
+}
+
+func TestCOOBuilder(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 2)
+	m := c.ToCSR()
+	if m.NNZ() != 2 {
+		t.Error("COO builder broken")
+	}
+}
+
+func TestPublicAPIExtend(t *testing.T) {
+	// Extend must add the 30th model and leave existing predictions intact.
+	fw, err := Train(GenerateCorpus(smallCorpus()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.Fig1Example()
+	before := fw.Select(m)
+	ext := ExtensionMethods(ScaledMachine())
+	if len(ext) == 0 {
+		t.Fatal("no extension methods")
+	}
+	if err := fw.Extend(ext[0]); err != nil {
+		t.Fatal(err)
+	}
+	after := fw.Select(m)
+	if len(after.Classes) != len(before.Classes)+1 {
+		t.Fatalf("classes = %d, want %d", len(after.Classes), len(before.Classes)+1)
+	}
+	for i := range before.Classes {
+		if after.Classes[i] != before.Classes[i] {
+			t.Fatal("existing model prediction changed")
+		}
+	}
+	// Duplicate extension rejected.
+	if err := fw.Extend(ext[0]); err == nil {
+		t.Error("duplicate extension accepted")
+	}
+}
+
+func TestLoadedFrameworkCannotExtend(t *testing.T) {
+	fw := trained(t)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := fw.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, ScaledMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Extend(ExtensionMethods(ScaledMachine())[0]); err == nil {
+		t.Error("loaded framework extended without a corpus")
+	}
+}

@@ -5,6 +5,15 @@
 //	wise-bench                      # all experiments, default scaled corpus
 //	wise-bench -exp fig13           # one experiment
 //	wise-bench -full -outdir results
+//	wise-bench -small               # CI-size smoke corpus (-medium in between)
+//	wise-bench -v -metrics m.json   # live progress + per-stage metrics
+//
+// The expensive labeling pass (cache-simulating cost model, 29 methods per
+// matrix) can be cached across runs with -save-labels/-load-labels. The
+// observability flags (-v, -metrics, -cpuprofile, -memprofile) are shared
+// by every wise CLI and documented in OBSERVABILITY.md; -v reports live
+// labeling/evaluation progress with ETA, and -metrics writes a JSON
+// snapshot with the corpus {gen, label} spans and one span per experiment.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 
 	"wise/internal/experiments"
 	"wise/internal/gen"
+	"wise/internal/obs"
 	"wise/internal/perf"
 )
 
@@ -35,7 +45,14 @@ func main() {
 		saveLabels = flag.String("save-labels", "", "after labeling, save the labeled corpus to this gzipped JSON file")
 		loadLabels = flag.String("load-labels", "", "skip labeling and reuse a corpus saved with -save-labels")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	finishObs := obsFlags.MustStart()
+	defer func() {
+		if err := finishObs(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	ccfg := experiments.DefaultContextConfig()
 	if *full {
@@ -77,57 +94,92 @@ func main() {
 	}
 
 	sweepCfg := experiments.DefaultSweepConfig()
-	var tables []*experiments.Table
+
+	// Each experiment is one named builder so the driver loop can time it as
+	// an obs span and report progress; ids match the -exp selectors and the
+	// emitted table ids.
+	type expBuild struct {
+		id    string
+		build func() *experiments.Table
+	}
+	one := func(id string, build func() *experiments.Table) []expBuild {
+		return []expBuild{{id: id, build: build}}
+	}
+	ablations := func() []expBuild {
+		return []expBuild{
+			{"ablation-features", func() *experiments.Table { return experiments.AblationFeatureSets(ctx) }},
+			{"ablation-classes", func() *experiments.Table { return experiments.AblationClasses(ctx) }},
+			{"ablation-tiebreak", func() *experiments.Table { return experiments.AblationTieBreak(ctx) }},
+			{"ablation-forest", func() *experiments.Table { return experiments.AblationModelFamily(ctx) }},
+			{"ablation-flatmem", func() *experiments.Table { return experiments.AblationFlatMemory(ctx, smallProbe(*seed)) }},
+		}
+	}
+
+	var builds []expBuild
 	switch *exp {
 	case "all":
-		tables = experiments.AllStandard(ctx)
-		tables = append(tables, experiments.Fig5(ctx, sweepCfg), experiments.Fig6(ctx, sweepCfg))
-		tables = append(tables,
-			experiments.AblationFeatureSets(ctx),
-			experiments.AblationClasses(ctx),
-			experiments.AblationTieBreak(ctx),
-			experiments.AblationModelFamily(ctx),
-			experiments.AblationFlatMemory(ctx, smallProbe(*seed)),
-		)
+		builds = []expBuild{
+			{"fig1", func() *experiments.Table { return experiments.Fig1Formats(ctx) }},
+			{"fig2", func() *experiments.Table { return experiments.Fig2(ctx) }},
+			{"fig3", func() *experiments.Table { return experiments.Fig3(ctx) }},
+			{"fig4", func() *experiments.Table { return experiments.Fig4(ctx) }},
+			{"fig7", func() *experiments.Table { return experiments.Fig7(ctx) }},
+			{"fig10", func() *experiments.Table { return experiments.Fig10(ctx) }},
+			{"fig11", func() *experiments.Table { return experiments.Fig11(ctx) }},
+			{"fig12", func() *experiments.Table { return experiments.Fig12(ctx) }},
+			{"fig13", func() *experiments.Table { return experiments.Fig13(ctx) }},
+			{"sec6.4", func() *experiments.Table { return experiments.Sec64(ctx) }},
+			{"table4", func() *experiments.Table { return experiments.Table4(ctx) }},
+			{"importance", func() *experiments.Table { return experiments.FeatureImportance(ctx) }},
+			{"fig5", func() *experiments.Table { return experiments.Fig5(ctx, sweepCfg) }},
+			{"fig6", func() *experiments.Table { return experiments.Fig6(ctx, sweepCfg) }},
+		}
+		builds = append(builds, ablations()...)
 	case "fig1":
-		tables = append(tables, experiments.Fig1Formats(ctx))
+		builds = one("fig1", func() *experiments.Table { return experiments.Fig1Formats(ctx) })
 	case "fig2":
-		tables = append(tables, experiments.Fig2(ctx))
+		builds = one("fig2", func() *experiments.Table { return experiments.Fig2(ctx) })
 	case "fig3":
-		tables = append(tables, experiments.Fig3(ctx))
+		builds = one("fig3", func() *experiments.Table { return experiments.Fig3(ctx) })
 	case "fig4":
-		tables = append(tables, experiments.Fig4(ctx))
+		builds = one("fig4", func() *experiments.Table { return experiments.Fig4(ctx) })
 	case "fig5":
-		tables = append(tables, experiments.Fig5(ctx, sweepCfg))
+		builds = one("fig5", func() *experiments.Table { return experiments.Fig5(ctx, sweepCfg) })
 	case "fig6":
-		tables = append(tables, experiments.Fig6(ctx, sweepCfg))
+		builds = one("fig6", func() *experiments.Table { return experiments.Fig6(ctx, sweepCfg) })
 	case "fig7":
-		tables = append(tables, experiments.Fig7(ctx))
+		builds = one("fig7", func() *experiments.Table { return experiments.Fig7(ctx) })
 	case "fig10":
-		tables = append(tables, experiments.Fig10(ctx))
+		builds = one("fig10", func() *experiments.Table { return experiments.Fig10(ctx) })
 	case "fig11":
-		tables = append(tables, experiments.Fig11(ctx))
+		builds = one("fig11", func() *experiments.Table { return experiments.Fig11(ctx) })
 	case "fig12":
-		tables = append(tables, experiments.Fig12(ctx))
+		builds = one("fig12", func() *experiments.Table { return experiments.Fig12(ctx) })
 	case "fig13":
-		tables = append(tables, experiments.Fig13(ctx))
+		builds = one("fig13", func() *experiments.Table { return experiments.Fig13(ctx) })
 	case "ie", "sec6.4":
-		tables = append(tables, experiments.Sec64(ctx))
+		builds = one("sec6.4", func() *experiments.Table { return experiments.Sec64(ctx) })
 	case "table4":
-		tables = append(tables, experiments.Table4(ctx))
+		builds = one("table4", func() *experiments.Table { return experiments.Table4(ctx) })
 	case "importance":
-		tables = append(tables, experiments.FeatureImportance(ctx))
+		builds = one("importance", func() *experiments.Table { return experiments.FeatureImportance(ctx) })
 	case "ablations":
-		tables = append(tables,
-			experiments.AblationFeatureSets(ctx),
-			experiments.AblationClasses(ctx),
-			experiments.AblationTieBreak(ctx),
-			experiments.AblationModelFamily(ctx),
-			experiments.AblationFlatMemory(ctx, smallProbe(*seed)),
-		)
+		builds = ablations()
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+
+	expSpan := obs.Begin("experiments")
+	progress := obs.StartProgress("experiments", len(builds))
+	var tables []*experiments.Table
+	for _, b := range builds {
+		sp := expSpan.Child(b.id)
+		tables = append(tables, b.build())
+		obs.Verbosef("experiment %s done in %v", b.id, sp.End().Round(time.Millisecond))
+		progress.Add(1)
+	}
+	progress.Finish()
+	expSpan.End()
 
 	for _, tab := range tables {
 		fmt.Println(tab.String())

@@ -3,6 +3,10 @@
 //
 //	wise-features matrix.mtx
 //	wise-features -k 2048 matrix.mtx   # paper-scale tiling
+//
+// The shared observability flags (-v, -metrics, -cpuprofile, -memprofile)
+// are documented in OBSERVABILITY.md; -cpuprofile is the easy way to
+// profile the feature-extraction pass on a big matrix.
 package main
 
 import (
@@ -12,13 +16,21 @@ import (
 
 	"wise/internal/features"
 	"wise/internal/matrix"
+	"wise/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wise-features: ")
 	k := flag.Int("k", features.DefaultConfig().K, "tiling factor K (paper uses 2048)")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	finishObs := obsFlags.MustStart()
+	defer func() {
+		if err := finishObs(); err != nil {
+			log.Print(err)
+		}
+	}()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: wise-features [-k K] matrix.mtx")
 	}

@@ -7,6 +7,10 @@
 //	wise-gen -kind rgg -rows 8192 -degree 8 -out rgg.mtx
 //	wise-gen -kind stencil2d -rows 4096 -out stencil.mtx
 //	wise-gen -kind corpus -outdir corpus/          # full default corpus
+//
+// Corpus mode accepts -small (CI-size) and -full (paper-shaped). The
+// shared observability flags (-v, -metrics, -cpuprofile, -memprofile) are
+// documented in OBSERVABILITY.md.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"wise/internal/gen"
 	"wise/internal/matrix"
+	"wise/internal/obs"
 )
 
 func main() {
@@ -36,7 +41,14 @@ func main() {
 		full   = flag.Bool("full", false, "corpus mode: use the full paper-shaped corpus")
 		small  = flag.Bool("small", false, "corpus mode: use a small smoke corpus (fast, for CI)")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	finishObs := obsFlags.MustStart()
+	defer func() {
+		if err := finishObs(); err != nil {
+			log.Print(err)
+		}
+	}()
 	rng := rand.New(rand.NewSource(*seed))
 
 	if *kind == "corpus" {

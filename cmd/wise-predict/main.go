@@ -4,6 +4,10 @@
 //
 //	wise-predict -models models.json matrix.mtx
 //	wise-predict -models models.json -run matrix.mtx
+//
+// The shared observability flags (-v, -metrics, -cpuprofile, -memprofile)
+// are documented in OBSERVABILITY.md; -metrics records the inference-side
+// counters (core.selections, kernels.spmv_calls, format builds).
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"wise/internal/kernels"
 	"wise/internal/machine"
 	"wise/internal/matrix"
+	"wise/internal/obs"
 )
 
 func main() {
@@ -26,7 +31,14 @@ func main() {
 		run     = flag.Bool("run", false, "run SpMV with the selected method and verify against CSR")
 		explain = flag.Bool("explain", false, "print the decision path of the selected method's model")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	finishObs := obsFlags.MustStart()
+	defer func() {
+		if err := finishObs(); err != nil {
+			log.Print(err)
+		}
+	}()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: wise-predict [-models file] [-run] matrix.mtx")
 	}

@@ -4,6 +4,15 @@
 //
 //	wise-train -out models.json
 //	wise-train -full -folds 10 -out models.json
+//	wise-train -small -v                      # live progress with ETA
+//	wise-train -metrics m.json                # per-stage spans + counters
+//	wise-train -cpuprofile cpu.pb.gz          # pprof capture
+//
+// Corpus scale: default is the scaled corpus; -small is a CI-size smoke
+// corpus; -full is the paper-shaped corpus (slower). The observability
+// flags (-v, -metrics, -cpuprofile, -memprofile) are shared by every wise
+// CLI and documented in OBSERVABILITY.md; the metrics snapshot contains the
+// stage spans corpus, label, train, cv and save under the wise-train root.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"wise/internal/kernels"
 	"wise/internal/machine"
 	"wise/internal/ml"
+	"wise/internal/obs"
 	"wise/internal/perf"
 )
 
@@ -36,7 +46,14 @@ func main() {
 		ccp     = flag.Float64("ccp", 0.005, "minimal cost-complexity pruning alpha")
 		workers = flag.Int("workers", 0, "labeling workers (0 = GOMAXPROCS)")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	finishObs := obsFlags.MustStart()
+	defer func() {
+		if err := finishObs(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	corpusCfg := gen.DefaultCorpusConfig()
 	if *full {
@@ -54,40 +71,45 @@ func main() {
 	mach := machine.Scaled()
 	treeCfg := ml.TreeConfig{MaxDepth: *depth, MinSamplesLeaf: 1, CCPAlpha: *ccp}
 
-	t0 := time.Now()
-	corpus := gen.Corpus(corpusCfg)
-	fmt.Printf("generated %d matrices in %v\n", len(corpus), time.Since(t0).Round(time.Millisecond))
+	root := obs.Begin("wise-train")
+	defer root.End()
 
-	t0 = time.Now()
+	span := root.Child("corpus")
+	corpus := gen.Corpus(corpusCfg)
+	fmt.Printf("generated %d matrices in %v\n", len(corpus), span.End().Round(time.Millisecond))
+
+	span = root.Child("label")
 	labels := perf.LabelCorpus(perf.LabelConfig{
 		Estimator: costmodel.New(mach),
 		Space:     kernels.ModelSpace(mach),
 		Features:  features.DefaultConfig(),
 		Workers:   *workers,
 	}, corpus)
-	fmt.Printf("labeled corpus (29 methods x %d matrices) in %v\n", len(labels), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("labeled corpus (29 methods x %d matrices) in %v\n", len(labels), span.End().Round(time.Millisecond))
 
-	t0 = time.Now()
+	span = root.Child("train")
 	w, err := core.Train(labels, treeCfg, features.DefaultConfig(), mach)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trained %d models in %v\n", len(w.Models), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("trained %d models in %v\n", len(w.Models), span.End().Round(time.Millisecond))
 
-	t0 = time.Now()
+	span = root.Child("cv")
 	res, err := core.Evaluate(labels, treeCfg, *folds, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("evaluated (%d-fold CV) in %v\n", *folds, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("evaluated (%d-fold CV) in %v\n", *folds, span.End().Round(time.Millisecond))
 	fmt.Printf("  mean speedup over MKL baseline: WISE %.2fx, oracle %.2fx, IE %.2fx\n",
 		res.MeanWISESpeedup, res.MeanOracleSpeedup, res.MeanIESpeedup)
 	fmt.Printf("  mean preprocessing: WISE %.2f, IE %.2f baseline iterations\n",
 		res.MeanWISEPrepIters, res.MeanIEPrepIters)
 
+	span = root.Child("save")
 	if err := w.Save(*out); err != nil {
 		log.Fatal(err)
 	}
+	span.End()
 	fmt.Printf("saved models to %s\n", *out)
 
 	// Feature introspection: which Table 2 features carry the signal.

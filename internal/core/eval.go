@@ -5,9 +5,13 @@ import (
 
 	"wise/internal/gen"
 	"wise/internal/ml"
+	"wise/internal/obs"
 	"wise/internal/perf"
 	"wise/internal/stats"
 )
+
+// Observability instruments (documented in OBSERVABILITY.md).
+var evaluations = obs.NewCounter("core.evaluations")
 
 // MatrixEval is the end-to-end outcome of WISE on one matrix, evaluated
 // out-of-fold (the matrix's models never saw it during training).
@@ -73,6 +77,8 @@ func EvaluateWith(labels []perf.MatrixLabels, predict OutOfFoldPredictor) (EvalR
 	}
 
 	// Out-of-fold class predictions, per method.
+	evaluations.Inc()
+	progress := obs.StartProgress("evaluate", len(space))
 	predicted := make([][]int, len(space)) // [method][matrix]
 	for mi := range space {
 		y := make([]int, len(labels))
@@ -84,7 +90,9 @@ func EvaluateWith(labels []perf.MatrixLabels, predict OutOfFoldPredictor) (EvalR
 			return res, fmt.Errorf("core: cross-validating %s: %w", space[mi], err)
 		}
 		predicted[mi] = preds
+		progress.Add(1)
 	}
+	progress.Finish()
 
 	res.PerMatrix = make([]MatrixEval, len(labels))
 	var wise, oracle, ie, wisePrep, iePrep []float64

@@ -16,7 +16,14 @@ import (
 	"wise/internal/machine"
 	"wise/internal/matrix"
 	"wise/internal/ml"
+	"wise/internal/obs"
 	"wise/internal/perf"
+)
+
+// Observability instruments (documented in OBSERVABILITY.md).
+var (
+	selections    = obs.NewCounter("core.selections")
+	modelsTrained = obs.NewCounter("core.models_trained")
 )
 
 // Model pairs one {method, parameter} combination with its trained
@@ -70,6 +77,7 @@ func Train(labels []perf.MatrixLabels, treeCfg ml.TreeConfig, featCfg features.C
 			return nil, fmt.Errorf("core: training model for %s: %w", method, err)
 		}
 		w.Models = append(w.Models, Model{Method: method, Tree: tree})
+		modelsTrained.Inc()
 	}
 	return w, nil
 }
@@ -160,6 +168,7 @@ func (w *WISE) Select(m *matrix.CSR) Selection {
 
 // SelectFromFeatures picks the best method for precomputed features.
 func (w *WISE) SelectFromFeatures(f features.Features) Selection {
+	selections.Inc()
 	classes := w.PredictClasses(f)
 	idx := SelectFromClasses(w.Space(), classes)
 	return Selection{

@@ -4,6 +4,16 @@ import (
 	"wise/internal/kernels"
 	"wise/internal/machine"
 	"wise/internal/matrix"
+	"wise/internal/obs"
+)
+
+// Observability instruments (documented in OBSERVABILITY.md). Each simulated
+// access bumps the per-simulator CacheSim.Accesses field (single-goroutine,
+// free); the totals are flushed to the shared atomic counter once per
+// estimate so the simulator's inner loop stays untouched.
+var (
+	cacheAccesses   = obs.NewCounter("costmodel.cache_accesses")
+	methodEstimates = obs.NewCounter("costmodel.method_estimates")
 )
 
 // Virtual address-space bases for the cache simulator. The x vector and the
@@ -48,6 +58,7 @@ func (e *Estimator) xAccess(cs *CacheSim, addr int64) float64 {
 // MethodCycles estimates one parallel SpMV execution of the method on the
 // matrix, building the format internally.
 func (e *Estimator) MethodCycles(m *matrix.CSR, method kernels.Method) float64 {
+	methodEstimates.Inc()
 	switch method.Kind {
 	case kernels.CSR:
 		return e.CSRCycles(m, method.Sched)
@@ -85,6 +96,7 @@ func (e *Estimator) SegCSRCycles(f *kernels.SegCSR) float64 {
 		}
 		total += scheduleTime(blocks, threads, f.Sched, mach.DynChunkOverhead)
 	}
+	cacheAccesses.Add(cs.Accesses)
 	return total
 }
 
@@ -104,6 +116,7 @@ func (e *Estimator) CSRCycles(m *matrix.CSR, sched kernels.Sched) float64 {
 		}
 		perRow[i] = cycles
 	}
+	cacheAccesses.Add(cs.Accesses)
 	threads := e.threads()
 	if sched == kernels.StCont {
 		return scheduleTime(perRow, threads, kernels.StCont, 0)
@@ -164,6 +177,7 @@ func (e *Estimator) PackCycles(p *kernels.SRVPack) float64 {
 		}
 		total += scheduleTime(unit, threads, p.Method.Sched, mach.DynChunkOverhead)
 	}
+	cacheAccesses.Add(cs.Accesses)
 	return total
 }
 

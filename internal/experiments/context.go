@@ -1,8 +1,14 @@
 // Package experiments contains one driver per table and figure of the WISE
-// paper's evaluation. Every driver emits a Table with the same rows or
-// series the paper reports, computed on the scaled corpus and machine model
-// (see DESIGN.md for the per-experiment index and the expected reproduction
-// quality: shapes and orderings rather than absolute Skylake numbers).
+// paper's evaluation (Fig. 1-13, Table 4, the Section 6.4 inspector-executor
+// comparison), plus the DESIGN.md ablations and the feature-importance
+// report. Every driver emits a Table with the same rows or series the paper
+// reports, computed on the scaled corpus and machine model (see DESIGN.md
+// for the per-experiment index and the expected reproduction quality:
+// shapes and orderings rather than absolute Skylake numbers). A shared
+// Context carries the labeled corpus so the expensive labeling pass runs
+// once per harness invocation; corpus generation and labeling are
+// instrumented with internal/obs spans ("corpus" with children "gen" and
+// "label") so wise-bench -metrics can account for where the time goes.
 package experiments
 
 import (
@@ -14,6 +20,7 @@ import (
 	"wise/internal/kernels"
 	"wise/internal/machine"
 	"wise/internal/ml"
+	"wise/internal/obs"
 	"wise/internal/perf"
 )
 
@@ -73,7 +80,9 @@ func NewContextFromLabels(labels []perf.MatrixLabels) *Context {
 	}
 }
 
-// NewContext generates and labels the corpus.
+// NewContext generates and labels the corpus, recording a "corpus" obs span
+// with "gen" and "label" children so metrics snapshots attribute the setup
+// cost per stage.
 func NewContext(cfg ContextConfig) *Context {
 	mach := machine.Scaled()
 	ctx := &Context{
@@ -85,13 +94,19 @@ func NewContext(cfg ContextConfig) *Context {
 		Folds:     10,
 		Seed:      1,
 	}
+	span := obs.Begin("corpus")
+	genSpan := span.Child("gen")
 	corpus := gen.Corpus(cfg.Corpus)
+	genSpan.End()
+	labelSpan := span.Child("label")
 	ctx.Labels = perf.LabelCorpus(perf.LabelConfig{
 		Estimator: ctx.Estimator,
 		Space:     ctx.Space,
 		Features:  features.DefaultConfig(),
 		Workers:   cfg.Workers,
 	}, corpus)
+	labelSpan.End()
+	span.End()
 	return ctx
 }
 

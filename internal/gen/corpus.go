@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"wise/internal/matrix"
+	"wise/internal/obs"
 )
 
 // Class tags a corpus matrix with its generator family, matching the
@@ -188,11 +189,16 @@ func ScienceCorpus(cfg CorpusConfig) []Labeled {
 	return out
 }
 
+// matricesGenerated counts corpus matrices produced (see OBSERVABILITY.md).
+var matricesGenerated = obs.NewCounter("gen.matrices_generated")
+
 // Corpus generates the full training/evaluation corpus: science-like plus
 // random matrices, as in the paper's Section 5 (136 + 1,326, scaled).
 func Corpus(cfg CorpusConfig) []Labeled {
 	out := ScienceCorpus(cfg)
-	return append(out, RandomCorpus(cfg)...)
+	out = append(out, RandomCorpus(cfg)...)
+	matricesGenerated.Add(int64(len(out)))
+	return out
 }
 
 // hubCap is the per-row degree cap for scaled RMAT matrices: 0.2% of the

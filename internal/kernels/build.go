@@ -22,6 +22,7 @@ var (
 // Build constructs the executable format for any method of the model space.
 // rowBlock is the CSR scheduling granularity (K); pass 0 for the default.
 func Build(m *matrix.CSR, method Method, rowBlock int) Format {
+	formatsBuilt.Inc()
 	switch method.Kind {
 	case CSR:
 		return BuildCSRFormat(m, method.Sched, rowBlock)

@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"time"
 
 	"wise/internal/matrix"
 )
@@ -34,6 +35,7 @@ func (f *CSRFormat) SpMV(y, x []float64) { f.SpMVParallel(y, x, 1) }
 // per worker, regardless of RowBlock (the paper's "divides the rows by the
 // number of threads").
 func (f *CSRFormat) SpMVParallel(y, x []float64, workers int) {
+	defer observeSpMV(time.Now())
 	m := f.M
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("kernels: SpMV dims y[%d]=A[%dx%d]*x[%d]", len(y), m.Rows, m.Cols, len(x)))

@@ -1,0 +1,21 @@
+package kernels
+
+import (
+	"time"
+
+	"wise/internal/obs"
+)
+
+// Observability instruments (documented in OBSERVABILITY.md).
+var (
+	spmvCalls    = obs.NewCounter("kernels.spmv_calls")
+	spmvSeconds  = obs.NewHistogram("kernels.spmv_seconds", nil)
+	formatsBuilt = obs.NewCounter("kernels.formats_built")
+)
+
+// observeSpMV records one SpMV execution; deferred with the call's start
+// time from every SpMVParallel implementation.
+func observeSpMV(start time.Time) {
+	spmvCalls.Inc()
+	spmvSeconds.ObserveDuration(time.Since(start))
+}

@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"time"
 
 	"wise/internal/matrix"
 )
@@ -83,6 +84,7 @@ func (f *SegCSR) SpMV(y, x []float64) { f.SpMVParallel(y, x, 1) }
 // another (the cache-blocking discipline) and parallelizing over row blocks
 // within each segment.
 func (f *SegCSR) SpMVParallel(y, x []float64, workers int) {
+	defer observeSpMV(time.Now())
 	if len(x) != f.Cols || len(y) != f.Rows {
 		panic(fmt.Sprintf("kernels: SpMV dims y[%d]=A[%dx%d]*x[%d]", len(y), f.Rows, f.Cols, len(x)))
 	}

@@ -3,6 +3,7 @@ package kernels
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"wise/internal/matrix"
 )
@@ -169,6 +170,7 @@ func (p *SRVPack) SpMV(y, x []float64) { p.SpMVParallel(y, x, 1) }
 // LLC-resident, then consumed). A pack must not be used from concurrent
 // SpMV calls: the gathered-x scratch buffer is per-pack state.
 func (p *SRVPack) SpMVParallel(y, x []float64, workers int) {
+	defer observeSpMV(time.Now())
 	if len(x) != p.Cols || len(y) != p.Rows {
 		panic(fmt.Sprintf("kernels: SpMV dims y[%d]=A[%dx%d]*x[%d]", len(y), p.Rows, p.Cols, len(x)))
 	}

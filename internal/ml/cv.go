@@ -3,6 +3,9 @@ package ml
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // KFoldSplit partitions sample indices [0, n) into k disjoint folds after a
@@ -28,10 +31,84 @@ func KFoldSplit(n, k int, seed int64) [][]int {
 	return folds
 }
 
+// trainComplement returns the sample indices outside fold fi, in ascending
+// order — the training set for that fold.
+func trainComplement(n int, folds [][]int, fi int) []int {
+	inFold := make([]bool, n)
+	for _, i := range folds[fi] {
+		inFold[i] = true
+	}
+	trainIdx := make([]int, 0, n-len(folds[fi]))
+	for i := 0; i < n; i++ {
+		if !inFold[i] {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	return trainIdx
+}
+
+// forEachFold runs body(fi, trainIdx) for every fold on a pool of workers
+// (0 = GOMAXPROCS, 1 = serial). Each fold's work is independent and each
+// fold index is processed exactly once, so the parallel schedule produces
+// results bit-for-bit identical to the serial loop as long as body writes
+// only fold-local state. On error, the error of the lowest-indexed failing
+// fold is returned — the same one the serial loop would have surfaced first.
+func forEachFold(folds [][]int, n, workers int, body func(fi int, trainIdx []int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(folds) {
+		workers = len(folds)
+	}
+	errs := make([]error, len(folds))
+	if workers <= 1 {
+		for fi := range folds {
+			if errs[fi] = body(fi, trainComplement(n, folds, fi)); errs[fi] != nil {
+				break
+			}
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					fi := int(atomic.AddInt64(&next, 1)) - 1
+					if fi >= len(folds) {
+						return
+					}
+					errs[fi] = body(fi, trainComplement(n, folds, fi))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CrossValidate runs k-fold cross-validation of a tree configuration on the
 // dataset (the paper's evaluation protocol, k = 10) and returns the combined
-// confusion matrix across all folds.
+// confusion matrix across all folds. Folds train concurrently on a worker
+// pool; the result is bit-for-bit identical to a serial run (see
+// CrossValidateWorkers).
 func CrossValidate(d Dataset, cfg TreeConfig, k int, seed int64) (*ConfusionMatrix, error) {
+	return CrossValidateWorkers(d, cfg, k, seed, 0)
+}
+
+// CrossValidateWorkers is CrossValidate with an explicit fold-level worker
+// count (0 = GOMAXPROCS, 1 = serial). The fold split is deterministic in
+// seed, each fold's tree induction touches only that fold's data, and the
+// per-fold confusion matrices are merged in fold order, so every worker
+// count yields the identical confusion matrix — enforced by a regression
+// test.
+func CrossValidateWorkers(d Dataset, cfg TreeConfig, k int, seed int64, workers int) (*ConfusionMatrix, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,28 +117,26 @@ func CrossValidate(d Dataset, cfg TreeConfig, k int, seed int64) (*ConfusionMatr
 		return nil, fmt.Errorf("ml: need >= 2 samples for cross-validation, have %d", n)
 	}
 	folds := KFoldSplit(n, k, seed)
-	cm := NewConfusionMatrix(d.NumClasses)
-	inFold := make([]bool, n)
-	for _, fold := range folds {
-		for i := range inFold {
-			inFold[i] = false
-		}
-		for _, i := range fold {
-			inFold[i] = true
-		}
-		var trainIdx []int
-		for i := 0; i < n; i++ {
-			if !inFold[i] {
-				trainIdx = append(trainIdx, i)
-			}
-		}
+	perFold := make([]*ConfusionMatrix, len(folds))
+	err := forEachFold(folds, n, workers, func(fi int, trainIdx []int) error {
 		tree, err := Fit(d.Subset(trainIdx), cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, i := range fold {
+		cm := NewConfusionMatrix(d.NumClasses)
+		for _, i := range folds[fi] {
 			cm.Add(d.Y[i], tree.Predict(d.X[i]))
 		}
+		perFold[fi] = cm
+		cvFolds.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cm := NewConfusionMatrix(d.NumClasses)
+	for _, f := range perFold {
+		cm.Merge(f)
 	}
 	return cm, nil
 }
@@ -69,7 +144,15 @@ func CrossValidate(d Dataset, cfg TreeConfig, k int, seed int64) (*ConfusionMatr
 // CrossValPredict returns out-of-fold predictions for every sample: sample i
 // is predicted by the tree trained on the folds not containing i. This is
 // how WISE's end-to-end speedup is evaluated without training-set leakage.
+// Folds train concurrently; results are identical to a serial run.
 func CrossValPredict(d Dataset, cfg TreeConfig, k int, seed int64) ([]int, error) {
+	return CrossValPredictWorkers(d, cfg, k, seed, 0)
+}
+
+// CrossValPredictWorkers is CrossValPredict with an explicit fold-level
+// worker count (0 = GOMAXPROCS, 1 = serial). Each fold writes a disjoint
+// set of prediction slots, so every worker count yields identical output.
+func CrossValPredictWorkers(d Dataset, cfg TreeConfig, k int, seed int64, workers int) ([]int, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,27 +162,19 @@ func CrossValPredict(d Dataset, cfg TreeConfig, k int, seed int64) ([]int, error
 	}
 	preds := make([]int, n)
 	folds := KFoldSplit(n, k, seed)
-	inFold := make([]bool, n)
-	for _, fold := range folds {
-		for i := range inFold {
-			inFold[i] = false
-		}
-		for _, i := range fold {
-			inFold[i] = true
-		}
-		var trainIdx []int
-		for i := 0; i < n; i++ {
-			if !inFold[i] {
-				trainIdx = append(trainIdx, i)
-			}
-		}
+	err := forEachFold(folds, n, workers, func(fi int, trainIdx []int) error {
 		tree, err := Fit(d.Subset(trainIdx), cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, i := range fold {
+		for _, i := range folds[fi] {
 			preds[i] = tree.Predict(d.X[i])
 		}
+		cvFolds.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return preds, nil
 }

@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The parallel fold scheduler must be invisible in the results: any worker
+// count has to reproduce the serial (workers=1) confusion matrix and
+// out-of-fold predictions bit for bit. This is the regression guard for
+// forEachFold's ordering guarantees.
+
+func TestCrossValidateParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := blobDataset(rng, 60, 4)
+	cfg := TreeConfig{MaxDepth: 8, MinSamplesLeaf: 1, CCPAlpha: 0.001}
+
+	serial, err := CrossValidateWorkers(d, cfg, 10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		par, err := CrossValidateWorkers(d, cfg, 10, 3, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par.Counts, serial.Counts) {
+			t.Errorf("workers=%d confusion matrix differs from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, serial, par)
+		}
+	}
+}
+
+func TestCrossValPredictParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := blobDataset(rng, 45, 3)
+	cfg := TreeConfig{MaxDepth: 6, MinSamplesLeaf: 1}
+
+	serial, err := CrossValPredictWorkers(d, cfg, 9, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		par, err := CrossValPredictWorkers(d, cfg, 9, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Errorf("workers=%d predictions differ from serial\nserial:   %v\nparallel: %v",
+				workers, serial, par)
+		}
+	}
+}
+
+func TestCrossValidateWorkersRepeatable(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := blobDataset(rng, 40, 3)
+	cfg := TreeConfig{MaxDepth: 6}
+	a, err := CrossValidateWorkers(d, cfg, 8, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidateWorkers(d, cfg, 8, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Counts, b.Counts) {
+		t.Error("two parallel runs with the same seed disagree")
+	}
+}

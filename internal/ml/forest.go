@@ -81,7 +81,9 @@ func (f *Forest) Predict(x []float64) int {
 	return best
 }
 
-// CrossValPredictForest mirrors CrossValPredict for forests.
+// CrossValPredictForest mirrors CrossValPredict for forests. Folds train
+// concurrently; each fold's bootstrap RNG is seeded with seed+fold, so the
+// parallel schedule reproduces the serial results exactly.
 func CrossValPredictForest(d Dataset, cfg ForestConfig, k int, seed int64) ([]int, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -92,27 +94,19 @@ func CrossValPredictForest(d Dataset, cfg ForestConfig, k int, seed int64) ([]in
 	}
 	preds := make([]int, n)
 	folds := KFoldSplit(n, k, seed)
-	inFold := make([]bool, n)
-	for fi, fold := range folds {
-		for i := range inFold {
-			inFold[i] = false
-		}
-		for _, i := range fold {
-			inFold[i] = true
-		}
-		var trainIdx []int
-		for i := 0; i < n; i++ {
-			if !inFold[i] {
-				trainIdx = append(trainIdx, i)
-			}
-		}
+	err := forEachFold(folds, n, 0, func(fi int, trainIdx []int) error {
 		forest, err := FitForest(d.Subset(trainIdx), cfg, seed+int64(fi))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, i := range fold {
+		for _, i := range folds[fi] {
 			preds[i] = forest.Predict(d.X[i])
 		}
+		cvFolds.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return preds, nil
 }

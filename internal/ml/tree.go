@@ -10,6 +10,16 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
+
+	"wise/internal/obs"
+)
+
+// Observability instruments (documented in OBSERVABILITY.md).
+var (
+	treesTrained   = obs.NewCounter("ml.trees_trained")
+	treeFitSeconds = obs.NewHistogram("ml.tree_fit_seconds", nil)
+	cvFolds        = obs.NewCounter("ml.cv_folds")
 )
 
 // Dataset is a design matrix with integer class labels in [0, NumClasses).
@@ -94,6 +104,11 @@ type Tree struct {
 // Fit grows a CART tree on the dataset with Gini splitting, then applies
 // minimal cost-complexity pruning at cfg.CCPAlpha.
 func Fit(d Dataset, cfg TreeConfig) (*Tree, error) {
+	t0 := time.Now()
+	defer func() {
+		treesTrained.Inc()
+		treeFitSeconds.ObserveDuration(time.Since(t0))
+	}()
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}

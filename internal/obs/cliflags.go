@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLIFlags carries the observability options shared by every wise CLI.
+type CLIFlags struct {
+	Verbose    bool
+	Metrics    string
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterFlags adds the standard observability flags (-v, -metrics,
+// -cpuprofile, -memprofile) to a flag set. Call Start after fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
+	o := &CLIFlags{}
+	fs.BoolVar(&o.Verbose, "v", false, "verbose: live progress with ETA and stage timings on stderr")
+	fs.StringVar(&o.Metrics, "metrics", "", "write a JSON metrics snapshot (spans, counters, histograms) to this file on exit")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	return o
+}
+
+// Start applies the parsed flags: enables verbose output and begins CPU
+// profiling if requested. The returned finish function must run before the
+// process exits (defer it in main); it stops the CPU profile and writes the
+// heap profile and metrics snapshot.
+func (o *CLIFlags) Start() (finish func() error, err error) {
+	if o.Verbose {
+		SetVerbose(os.Stderr)
+	}
+	var stopCPU func() error
+	if o.CPUProfile != "" {
+		stopCPU, err = StartCPUProfile(o.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func() error {
+		var firstErr error
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				firstErr = err
+			}
+		}
+		if o.MemProfile != "" {
+			if err := WriteHeapProfile(o.MemProfile); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if o.Metrics != "" {
+			if err := WriteMetricsFile(o.Metrics); err != nil && firstErr == nil {
+				firstErr = err
+			} else if firstErr == nil {
+				Verbosef("wrote metrics snapshot to %s", o.Metrics)
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// MustStart is Start for CLI mains: it exits the process on setup errors.
+func (o *CLIFlags) MustStart() (finish func() error) {
+	finish, err := o.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return finish
+}

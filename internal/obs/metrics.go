@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic event count.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// NewCounter returns the counter registered under name in the registry,
+// creating it on first use. Repeated calls with the same name return the
+// same counter, so package-level declarations and ad-hoc lookups agree.
+func (r *Registry) NewCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name string) *Counter { return Default.NewCounter(name) }
+
+// Gauge is an atomic last-value metric (e.g. corpus size, worker count).
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// NewGauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) NewGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name string) *Gauge { return Default.NewGauge(name) }
+
+// Histogram accumulates observations into fixed exponential buckets plus
+// count/sum/min/max, all updated atomically so hot paths (per-matrix label
+// latency, per-tree fit latency, per-SpMV latency) can record from many
+// workers without locks.
+type Histogram struct {
+	name   string
+	bounds []float64      // inclusive upper bounds; one overflow bucket follows
+	counts []atomic.Int64 // len(bounds)+1
+
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+
+	minMu sync.Mutex
+	min   float64
+	max   float64
+}
+
+// DefaultLatencyBuckets spans 1µs to ~100s in powers of ~4 — wide enough
+// for both per-SpMV latencies and per-matrix labeling times, in seconds.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+		1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+		1, 4, 16, 64, 100,
+	}
+}
+
+// NewHistogram returns the histogram registered under name, creating it with
+// the given inclusive bucket upper bounds (sorted ascending) on first use;
+// nil bounds means DefaultLatencyBuckets. An extra overflow bucket catches
+// observations above the last bound.
+func (r *Registry) NewHistogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// NewHistogram registers a histogram in the default registry.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.minMu.Lock()
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.minMu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the mean observed value, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// BucketCount returns the count in bucket i, where buckets 0..len(bounds)-1
+// hold values <= the corresponding bound and the final bucket overflows.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// NumBuckets returns the bucket count including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.minMu.Lock()
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+	h.minMu.Unlock()
+}
+
+func (h *Histogram) minMax() (lo, hi float64, ok bool) {
+	h.minMu.Lock()
+	defer h.minMu.Unlock()
+	if math.IsInf(h.min, 1) {
+		return 0, 0, false
+	}
+	return h.min, h.max, true
+}

@@ -1,0 +1,194 @@
+// Package obs is the pipeline observability layer: named stage timers with
+// hierarchical spans (wall time plus allocation deltas), atomic counters,
+// gauges and latency histograms for the hot paths (matrices labeled, trees
+// trained, cache-sim accesses, SpMV calls), a progress reporter with ETA for
+// long fan-out loops, a JSON metrics snapshot writer, and opt-in pprof
+// CPU/heap profile capture. Everything is stdlib-only and safe for
+// concurrent use; instrumentation on disabled paths costs one atomic
+// operation, so it stays on permanently.
+//
+// The package keeps a single default registry. Pipeline packages declare
+// their instruments as package-level variables
+//
+//	var matricesLabeled = obs.NewCounter("perf.matrices_labeled")
+//
+// and bump them inline; CLIs call RegisterFlags to expose -v, -metrics,
+// -cpuprofile and -memprofile. OBSERVABILITY.md documents every emitted
+// span and metric name and the snapshot schema.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry holds named instruments and completed spans. The package-level
+// functions operate on Default; independent registries exist only so tests
+// can isolate state.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	roots    []*Span
+
+	verboseMu sync.Mutex
+	verbose   io.Writer // nil = verbose output disabled
+}
+
+// Default is the process-wide registry used by the package-level helpers.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Reset zeroes every registered instrument and drops all recorded spans.
+// Registered instruments keep their identity, so package-level variables
+// holding them stay valid. Intended for tests and for CLIs that want a
+// clean slate after a warm-up phase.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	r.roots = nil
+}
+
+// Reset resets the default registry.
+func Reset() { Default.Reset() }
+
+// SetVerbose directs progress and Verbosef output to w; nil disables it.
+func (r *Registry) SetVerbose(w io.Writer) {
+	r.verboseMu.Lock()
+	r.verbose = w
+	r.verboseMu.Unlock()
+}
+
+// SetVerbose directs the default registry's progress and Verbosef output.
+func SetVerbose(w io.Writer) { Default.SetVerbose(w) }
+
+func (r *Registry) verboseWriter() io.Writer {
+	r.verboseMu.Lock()
+	defer r.verboseMu.Unlock()
+	return r.verbose
+}
+
+// Verbosef writes one line of progress narration when verbose output is
+// enabled, and is a no-op otherwise.
+func (r *Registry) Verbosef(format string, args ...any) {
+	if w := r.verboseWriter(); w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// Verbosef writes to the default registry's verbose sink.
+func Verbosef(format string, args ...any) { Default.Verbosef(format, args...) }
+
+// Span is one named stage of the pipeline. Spans nest: a root span is
+// opened with Begin, children with (*Span).Child. End records the wall-time
+// duration and the process-wide allocation delta since the span started
+// (approximate when other goroutines allocate concurrently — documented as
+// such, still invaluable for stage-level accounting).
+type Span struct {
+	Name string
+
+	start      time.Time
+	startAlloc uint64
+
+	mu       sync.Mutex
+	children []*Span
+	duration time.Duration
+	alloc    uint64
+	ended    bool
+}
+
+// Begin opens a root span in the registry. The span is recorded immediately
+// so snapshots taken mid-run show in-flight stages.
+func (r *Registry) Begin(name string) *Span {
+	s := newSpan(name)
+	r.mu.Lock()
+	r.roots = append(r.roots, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Begin opens a root span in the default registry.
+func Begin(name string) *Span { return Default.Begin(name) }
+
+func newSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now(), startAlloc: totalAlloc()}
+}
+
+// totalAlloc reads the cumulative heap allocation of the process.
+// runtime.ReadMemStats is a stop-the-world operation, so spans are meant
+// for coarse stages (a handful per run), not per-item loops — those use
+// Histograms.
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// Child opens a nested span under s. Safe to call from multiple goroutines;
+// children appear in creation order.
+func (s *Span) Child(name string) *Span {
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, recording its duration and allocation delta, and
+// returns the duration. Ending twice keeps the first measurement.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	alloc := totalAlloc() - s.startAlloc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.duration
+	}
+	s.ended = true
+	s.duration = d
+	s.alloc = alloc
+	return d
+}
+
+// Duration returns the recorded duration for an ended span, or the elapsed
+// time so far for a live one.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.duration
+	}
+	return time.Since(s.start)
+}
+
+// sortedNames returns map keys in lexical order (stable snapshot output).
+func sortedNames[M ~map[string]V, V any](m M) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.Begin("train")
+	a := root.Child("corpus")
+	a.End()
+	b := root.Child("label")
+	b.Child("worker").End()
+	b.End()
+	root.End()
+
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("got %d roots, want 1", len(snap.Spans))
+	}
+	got := snap.Spans[0]
+	if got.Name != "train" || got.Running {
+		t.Fatalf("root = %+v", got)
+	}
+	if len(got.Children) != 2 || got.Children[0].Name != "corpus" || got.Children[1].Name != "label" {
+		t.Fatalf("children = %+v", got.Children)
+	}
+	if len(got.Children[1].Children) != 1 || got.Children[1].Children[0].Name != "worker" {
+		t.Fatalf("grandchildren = %+v", got.Children[1].Children)
+	}
+	for _, sp := range []SpanSnapshot{got, got.Children[0], got.Children[1]} {
+		if sp.Seconds < 0 {
+			t.Errorf("span %s has negative duration %v", sp.Name, sp.Seconds)
+		}
+	}
+}
+
+func TestSpanRunningAndEndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	root := r.Begin("live")
+	snap := r.Snapshot()
+	if !snap.Spans[0].Running {
+		t.Fatal("unfinished span not marked Running")
+	}
+
+	first := root.End()
+	time.Sleep(2 * time.Millisecond)
+	if again := root.End(); again != first {
+		t.Errorf("second End changed duration: %v != %v", again, first)
+	}
+	if d := root.Duration(); d != first {
+		t.Errorf("Duration %v != recorded %v", d, first)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test.events")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if r.NewCounter("test.events") != c {
+		t.Error("NewCounter with same name returned a different instance")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test.level")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Errorf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test.lat", []float64{1, 10, 100})
+	// Bounds are inclusive upper bounds; 4th bucket is overflow.
+	for _, v := range []float64{0.5, 1} { // both <= 1
+		h.Observe(v)
+	}
+	h.Observe(10)   // <= 10
+	h.Observe(99)   // <= 100
+	h.Observe(1000) // overflow
+	want := []int64{2, 1, 1, 1}
+	if h.NumBuckets() != len(want) {
+		t.Fatalf("NumBuckets = %d, want %d", h.NumBuckets(), len(want))
+	}
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+10+99+1000; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if lo, hi, ok := h.minMax(); !ok || lo != 0.5 || hi != 1000 {
+		t.Errorf("minMax = %v, %v, %v", lo, hi, ok)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test.conc", []float64{1, 2, 4})
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := []float64{0.5, 1.5, 2.5, 10} // one per bucket incl. overflow
+			for i := 0; i < perWorker; i++ {
+				h.Observe(vals[w%4])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	var bucketTotal int64
+	for i := 0; i < h.NumBuckets(); i++ {
+		bucketTotal += h.BucketCount(i)
+	}
+	if bucketTotal != h.Count() {
+		t.Errorf("bucket total %d != count %d", bucketTotal, h.Count())
+	}
+	// Each of the 4 observed values lands in a distinct bucket, 2 workers each.
+	wantPer := int64(2 * perWorker)
+	for i := 0; i < 4; i++ {
+		if got := h.BucketCount(i); got != wantPer {
+			t.Errorf("bucket %d = %d, want %d", i, got, wantPer)
+		}
+	}
+	wantSum := float64(perWorker) * 2 * (0.5 + 1.5 + 2.5 + 10)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c.a").Add(7)
+	r.NewGauge("g.a").Set(2.25)
+	h := r.NewHistogram("h.a", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100) // overflow bucket
+	sp := r.Begin("root")
+	sp.Child("kid").End()
+	sp.End()
+
+	data, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"+Inf"`) {
+		t.Error("overflow bucket bound not serialized as \"+Inf\"")
+	}
+
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v\n%s", err, data)
+	}
+	if back.Counters["c.a"] != 7 {
+		t.Errorf("counter round-trip = %d", back.Counters["c.a"])
+	}
+	if back.Gauges["g.a"] != 2.25 {
+		t.Errorf("gauge round-trip = %v", back.Gauges["g.a"])
+	}
+	hs, ok := back.Histograms["h.a"]
+	if !ok || hs.Count != 2 {
+		t.Fatalf("histogram round-trip = %+v", hs)
+	}
+	if len(hs.Buckets) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(hs.Buckets))
+	}
+	if hs.Buckets[0].Le != 1 || hs.Buckets[0].Count != 1 {
+		t.Errorf("bucket 0 = %+v", hs.Buckets[0])
+	}
+	if hs.Buckets[2].Le < 1e300 || hs.Buckets[2].Count != 1 {
+		t.Errorf("overflow bucket = %+v", hs.Buckets[2])
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Name != "root" ||
+		len(back.Spans[0].Children) != 1 || back.Spans[0].Children[0].Name != "kid" {
+		t.Errorf("span round-trip = %+v", back.Spans)
+	}
+}
+
+func TestResetKeepsInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c")
+	g := r.NewGauge("g")
+	h := r.NewHistogram("h", []float64{1})
+	c.Add(5)
+	g.Set(9)
+	h.Observe(0.5)
+	r.Begin("span").End()
+
+	r.Reset()
+
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("values after reset: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	if _, _, ok := h.minMax(); ok {
+		t.Error("histogram min/max survived reset")
+	}
+	if snap := r.Snapshot(); len(snap.Spans) != 0 {
+		t.Errorf("%d spans survived reset", len(snap.Spans))
+	}
+	// The same instrument objects must still be registered.
+	if r.NewCounter("c") != c || r.NewGauge("g") != g || r.NewHistogram("h", nil) != h {
+		t.Error("reset replaced registered instruments")
+	}
+	c.Inc()
+	if r.Snapshot().Counters["c"] != 1 {
+		t.Error("counter disconnected from registry after reset")
+	}
+}
+
+func TestProgressVerboseOutput(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.SetVerbose(&buf)
+	p := r.StartProgress("label", 4)
+	for i := 0; i < 4; i++ {
+		p.Add(1)
+	}
+	p.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "label: 4/4 (100%)") {
+		t.Errorf("final progress line missing from %q", out)
+	}
+	if p.Done() != 4 {
+		t.Errorf("Done = %d", p.Done())
+	}
+	// Finish twice must not print twice.
+	n := len(buf.String())
+	p.Finish()
+	if len(buf.String()) != n {
+		t.Error("second Finish produced output")
+	}
+}
+
+func TestProgressDisabledIsSilent(t *testing.T) {
+	r := NewRegistry() // no verbose writer
+	p := r.StartProgress("quiet", 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	if p.Done() != 100 {
+		t.Errorf("Done = %d, want 100", p.Done())
+	}
+}
+
+func TestVerbosef(t *testing.T) {
+	r := NewRegistry()
+	r.Verbosef("dropped %d", 1) // no writer: must not panic
+	var buf bytes.Buffer
+	r.SetVerbose(&buf)
+	r.Verbosef("stage %s done", "label")
+	if got := buf.String(); got != "stage label done\n" {
+		t.Errorf("Verbosef output %q", got)
+	}
+	r.SetVerbose(nil)
+	r.Verbosef("after disable")
+	if strings.Contains(buf.String(), "after disable") {
+		t.Error("Verbosef wrote after SetVerbose(nil)")
+	}
+}
+
+func TestWriteMetricsFile(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c").Inc()
+	path := t.TempDir() + "/m.json"
+	if err := r.WriteMetricsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["c"] != 1 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.GOMAXPROCS <= 0 || snap.NumCPU <= 0 || snap.GoVersion == "" {
+		t.Errorf("environment fields missing: %+v", snap)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress reports completion of a long fan-out loop (labeling workers,
+// k-fold CV, experiment drivers) with throughput-derived ETA. Output goes to
+// the registry's verbose writer; when verbose mode is off every Add is one
+// atomic increment and nothing is printed, so call sites stay instrumented
+// unconditionally. Updates rewrite a single terminal line via carriage
+// return and are rate-limited.
+type Progress struct {
+	label string
+	total int64
+	done  atomic.Int64
+	start time.Time
+	w     io.Writer // nil = disabled
+
+	mu        sync.Mutex
+	lastPrint time.Time
+	finished  bool
+}
+
+// progressInterval rate-limits live progress lines.
+const progressInterval = 200 * time.Millisecond
+
+// StartProgress begins reporting a loop of total items under the label.
+// The writer is captured once, so flipping verbose mid-loop affects only
+// subsequently started reporters.
+func (r *Registry) StartProgress(label string, total int) *Progress {
+	return &Progress{
+		label: label,
+		total: int64(total),
+		start: time.Now(),
+		w:     r.verboseWriter(),
+	}
+}
+
+// StartProgress begins a progress reporter on the default registry.
+func StartProgress(label string, total int) *Progress {
+	return Default.StartProgress(label, total)
+}
+
+// Add records n completed items and, in verbose mode, refreshes the live
+// progress line (at most once per progressInterval). Safe for concurrent
+// use by many workers.
+func (p *Progress) Add(n int) {
+	done := p.done.Add(int64(n))
+	if p.w == nil {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	if p.finished || now.Sub(p.lastPrint) < progressInterval {
+		p.mu.Unlock()
+		return
+	}
+	p.lastPrint = now
+	p.mu.Unlock()
+	p.print(done, false)
+}
+
+// Done returns the number of completed items so far.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Finish prints the final summary line (in verbose mode) and stops further
+// updates. It is safe to call once from the loop's owner after all workers
+// have stopped.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	if p.finished {
+		p.mu.Unlock()
+		return
+	}
+	p.finished = true
+	p.mu.Unlock()
+	if p.w != nil {
+		p.print(p.done.Load(), true)
+	}
+}
+
+// eta extrapolates the remaining time from current throughput.
+func (p *Progress) eta(done int64, elapsed time.Duration) time.Duration {
+	if done <= 0 || p.total <= 0 || done >= p.total {
+		return 0
+	}
+	perItem := float64(elapsed) / float64(done)
+	return time.Duration(perItem * float64(p.total-done)).Round(time.Second)
+}
+
+func (p *Progress) print(done int64, final bool) {
+	elapsed := time.Since(p.start)
+	pct := 0.0
+	if p.total > 0 {
+		pct = 100 * float64(done) / float64(p.total)
+	}
+	if final {
+		fmt.Fprintf(p.w, "\r%s: %d/%d (%.0f%%) in %v          \n",
+			p.label, done, p.total, pct, elapsed.Round(time.Millisecond))
+		return
+	}
+	fmt.Fprintf(p.w, "\r%s: %d/%d (%.0f%%) eta %v   ",
+		p.label, done, p.total, pct, p.eta(done, elapsed))
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Snapshot is the JSON form of everything a registry has recorded. The
+// schema is documented field by field in OBSERVABILITY.md; it is stable and
+// append-only so downstream tooling can rely on it.
+type Snapshot struct {
+	TakenAt    time.Time `json:"taken_at"`
+	GoVersion  string    `json:"go_version"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+
+	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// SpanSnapshot is one stage timer in the snapshot's span forest.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	Seconds    float64        `json:"seconds"`
+	AllocBytes uint64         `json:"alloc_bytes"`
+	Running    bool           `json:"running,omitempty"` // span not yet ended
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// HistogramSnapshot summarizes one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one histogram bucket: the count of observations at or
+// below the inclusive upper bound Le. The overflow bucket has Le = +Inf,
+// serialized as the string "+Inf" by the JSON encoder below.
+type BucketSnapshot struct {
+	Le    float64 `json:"-"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON encodes the bound explicitly so the +Inf overflow bucket
+// survives JSON (which has no infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	w := wire{Le: b.Le, Count: b.Count}
+	if b.Le > 1e300 {
+		w.Le = "+Inf"
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var w struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	b.Count = w.Count
+	switch v := w.Le.(type) {
+	case float64:
+		b.Le = v
+	case string:
+		b.Le = 1e308 // "+Inf" marker round-trips as an out-of-band sentinel
+	}
+	return nil
+}
+
+// Snapshot captures the registry's current state. Safe to call at any
+// point, including while workers are still recording; live spans are marked
+// Running with their elapsed time so far.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		TakenAt:    time.Now(),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.mu.Lock()
+	roots := append([]*Span(nil), r.roots...)
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, root := range roots {
+		s.Spans = append(s.Spans, snapshotSpan(root))
+	}
+	for _, name := range sortedNames(counters) {
+		s.Counters[name] = counters[name].Value()
+	}
+	for _, name := range sortedNames(gauges) {
+		s.Gauges[name] = gauges[name].Value()
+	}
+	for _, name := range sortedNames(hists) {
+		s.Histograms[name] = snapshotHistogram(hists[name])
+	}
+	return s
+}
+
+// TakeSnapshot captures the default registry.
+func TakeSnapshot() *Snapshot { return Default.Snapshot() }
+
+func snapshotSpan(sp *Span) SpanSnapshot {
+	sp.mu.Lock()
+	out := SpanSnapshot{Name: sp.Name}
+	if sp.ended {
+		out.Seconds = sp.duration.Seconds()
+		out.AllocBytes = sp.alloc
+	} else {
+		out.Seconds = time.Since(sp.start).Seconds()
+		out.Running = true
+	}
+	children := append([]*Span(nil), sp.children...)
+	sp.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, snapshotSpan(c))
+	}
+	return out
+}
+
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+	}
+	if lo, hi, ok := h.minMax(); ok {
+		out.Min, out.Max = lo, hi
+	}
+	for i, bound := range h.bounds {
+		out.Buckets = append(out.Buckets, BucketSnapshot{Le: bound, Count: h.counts[i].Load()})
+	}
+	out.Buckets = append(out.Buckets, BucketSnapshot{Le: 1e308, Count: h.counts[len(h.bounds)].Load()})
+	return out
+}
+
+// MarshalIndent renders the snapshot as indented JSON.
+func (s *Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteMetricsFile snapshots the registry and writes it to path as JSON.
+func (r *Registry) WriteMetricsFile(path string) error {
+	data, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteMetricsFile writes the default registry's snapshot to path.
+func WriteMetricsFile(path string) error { return Default.WriteMetricsFile(path) }

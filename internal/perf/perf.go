@@ -7,12 +7,22 @@ package perf
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"wise/internal/costmodel"
 	"wise/internal/features"
 	"wise/internal/gen"
 	"wise/internal/kernels"
 	"wise/internal/mkl"
+	"wise/internal/obs"
+)
+
+// Observability instruments (documented in OBSERVABILITY.md).
+var (
+	matricesLabeled = obs.NewCounter("perf.matrices_labeled")
+	labelSeconds    = obs.NewHistogram("perf.label_seconds", nil)
+	corpusSize      = obs.NewGauge("perf.corpus_size")
+	labelWorkers    = obs.NewGauge("perf.label_workers")
 )
 
 // NumClasses is the number of speedup classes (C0-C6).
@@ -106,6 +116,11 @@ type LabelConfig struct {
 
 // LabelMatrix computes the full label bundle for one matrix.
 func LabelMatrix(cfg LabelConfig, lm gen.Labeled) MatrixLabels {
+	t0 := time.Now()
+	defer func() {
+		matricesLabeled.Inc()
+		labelSeconds.ObserveDuration(time.Since(t0))
+	}()
 	e := cfg.Estimator
 	m := lm.M
 	out := MatrixLabels{
@@ -174,7 +189,8 @@ func ExtendLabels(cfg LabelConfig, corpus []gen.Labeled, labels []MatrixLabels, 
 }
 
 // LabelCorpus labels every matrix, in parallel across matrices. Each worker
-// gets its own Estimator copy (the cache simulator is stateful).
+// gets its own Estimator copy (the cache simulator is stateful). In verbose
+// mode (obs.SetVerbose) it reports live progress with ETA.
 func LabelCorpus(cfg LabelConfig, corpus []gen.Labeled) []MatrixLabels {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -183,10 +199,15 @@ func LabelCorpus(cfg LabelConfig, corpus []gen.Labeled) []MatrixLabels {
 	if workers > len(corpus) {
 		workers = len(corpus)
 	}
+	corpusSize.Set(float64(len(corpus)))
+	labelWorkers.Set(float64(workers))
+	progress := obs.StartProgress("label", len(corpus))
+	defer progress.Finish()
 	out := make([]MatrixLabels, len(corpus))
 	if workers <= 1 {
 		for i, lm := range corpus {
 			out[i] = LabelMatrix(cfg, lm)
+			progress.Add(1)
 		}
 		return out
 	}
@@ -209,6 +230,7 @@ func LabelCorpus(cfg LabelConfig, corpus []gen.Labeled) []MatrixLabels {
 					return
 				}
 				out[i] = LabelMatrix(local, corpus[i])
+				progress.Add(1)
 			}
 		}()
 	}

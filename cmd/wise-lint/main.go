@@ -1,0 +1,163 @@
+// wise-lint runs the repo-invariant static analyzer suite (internal/lint)
+// over the module: determinism, floateq, spanhygiene, goroutinesafety, and
+// errdrop. It prints findings as file:line:col: [analyzer] message, exits 1
+// when any finding survives suppression, and 2 on load errors. See
+// LINTING.md for the analyzer catalogue and the //lint:ignore syntax.
+//
+// Usage:
+//
+//	wise-lint [-json file] [packages ...]
+//
+// Package patterns are directory-based: "./..." (or no arguments) lints the
+// whole module; "./internal/ml" or "./internal/..." restricts the report to
+// the matching packages. The whole module is always loaded and type-checked
+// so cross-package analysis stays sound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wise/internal/lint"
+)
+
+func main() {
+	jsonPath := flag.String("json", "", "also write findings as JSON to this file (- for stdout)")
+	list := flag.Bool("analyzers", false, "list the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wise-lint:", err)
+		os.Exit(2)
+	}
+
+	// Directory arguments under a testdata/ tree are analyzer fixtures:
+	// they sit outside the module walk and are loaded individually. All
+	// other arguments filter the module-wide report.
+	var patterns []string
+	var findings []lint.Finding
+	for _, arg := range flag.Args() {
+		if st, err := os.Stat(arg); err == nil && st.IsDir() && underTestdata(arg) {
+			pkg, err := mod.LoadFixture(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wise-lint:", err)
+				os.Exit(2)
+			}
+			findings = append(findings, lint.RunPackage(mod, pkg, lint.All())...)
+			continue
+		}
+		patterns = append(patterns, arg)
+	}
+	if len(patterns) > 0 || len(flag.Args()) == 0 {
+		findings = append(findings, filterByPatterns(lint.Run(mod, lint.All()), mod.Root, patterns)...)
+	}
+
+	// With -json -, stdout carries only the JSON so it pipes cleanly; the
+	// human-readable lines move to stderr.
+	human := os.Stdout
+	if *jsonPath == "-" {
+		human = os.Stderr
+	}
+	for _, f := range findings {
+		//lint:ignore errdrop human only ever aliases os.Stdout or os.Stderr
+		fmt.Fprintln(human, relFinding(mod.Root, f))
+	}
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wise-lint:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		rel := make([]lint.Finding, len(findings))
+		for i, f := range findings {
+			rel[i] = f
+			if r, err := filepath.Rel(mod.Root, f.File); err == nil {
+				rel[i].File = r
+			}
+		}
+		if err := lint.WriteJSON(out, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "wise-lint:", err)
+			os.Exit(2)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wise-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// underTestdata reports whether any element of the path is "testdata".
+func underTestdata(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return false
+	}
+	for _, seg := range strings.Split(filepath.ToSlash(abs), "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// relFinding renders a finding with a root-relative path.
+func relFinding(root string, f lint.Finding) string {
+	if r, err := filepath.Rel(root, f.File); err == nil {
+		f.File = r
+	}
+	return f.String()
+}
+
+// filterByPatterns keeps findings under the directories named by go-style
+// package patterns. Empty args and "./..." mean everything.
+func filterByPatterns(fs []lint.Finding, root string, patterns []string) []lint.Finding {
+	var dirs []string // absolute dir prefixes; nil means keep all
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "all" {
+			return fs
+		}
+		rec := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, rec = rest, true
+		}
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			continue
+		}
+		if rec {
+			dirs = append(dirs, abs+string(filepath.Separator))
+		}
+		dirs = append(dirs, abs)
+	}
+	if len(patterns) == 0 || len(dirs) == 0 {
+		return fs
+	}
+	var out []lint.Finding
+	for _, f := range fs {
+		dir := filepath.Dir(f.File)
+		for _, d := range dirs {
+			if dir == strings.TrimSuffix(d, string(filepath.Separator)) ||
+				(strings.HasSuffix(d, string(filepath.Separator)) && strings.HasPrefix(dir+string(filepath.Separator), d)) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -65,7 +65,7 @@ func printDense(m *matrix.CSR) {
 		fmt.Fprintf(&b, "  r%-2d ", i)
 		for j := 0; j < m.Cols; j++ {
 			v := d[i*m.Cols+j]
-			if v == 0 {
+			if v == 0 { //lint:ignore floateq structural zeros in dense storage are exactly 0.0
 				b.WriteString(".   ")
 			} else {
 				fmt.Fprintf(&b, "%-4.0f", v)
@@ -94,7 +94,7 @@ func printSegment(seg *kernels.Segment, c int) {
 			for pos := lo; pos < hi; pos++ {
 				idx := pos*int64(c) + int64(l)
 				v := seg.Vals[idx]
-				if v == 0 {
+				if v == 0 { //lint:ignore floateq sell-pack padding slots are exactly 0.0
 					fmt.Print("*    ")
 				} else {
 					fmt.Printf("%-2.0f@c%-2d", v, seg.ColIdx[idx])

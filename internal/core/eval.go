@@ -142,7 +142,7 @@ func ConfusionForMethod(labels []perf.MatrixLabels, methodIdx int, treeCfg ml.Tr
 }
 
 func safeDiv(a, b float64) float64 {
-	if b == 0 {
+	if b == 0 { //lint:ignore floateq guards division by exactly zero; any nonzero divisor is valid
 		return 0
 	}
 	return a / b

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wise/internal/core"
+	"wise/internal/features"
+)
+
+// TestEndToEndDeterminism is the regression gate behind the determinism
+// lint analyzer: two full pipeline runs — corpus generation, parallel
+// labeling, training, k-fold cross-validation — from the same seed must
+// produce byte-identical saved models and identical confusion matrices.
+// Any unseeded randomness or order-dependent parallel reduction introduced
+// anywhere in the pipeline shows up here as a diff.
+func TestEndToEndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double pipeline run")
+	}
+	ctxA := getCtx(t)
+	// Second, completely independent run of the same config (including the
+	// parallel labeling pass with default worker count).
+	ctxB := NewContext(SmokeContextConfig())
+	ctxB.Folds = ctxA.Folds
+
+	if len(ctxA.Labels) != len(ctxB.Labels) {
+		t.Fatalf("corpus size drift: %d vs %d matrices", len(ctxA.Labels), len(ctxB.Labels))
+	}
+	for i := range ctxA.Labels {
+		if !reflect.DeepEqual(ctxA.Labels[i].Classes, ctxB.Labels[i].Classes) {
+			t.Errorf("matrix %d: speedup classes differ between runs", i)
+		}
+		if !reflect.DeepEqual(ctxA.Labels[i].Features.Values, ctxB.Labels[i].Features.Values) {
+			t.Errorf("matrix %d: feature vectors differ between runs", i)
+		}
+	}
+
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.json")
+	pathB := filepath.Join(dir, "b.json")
+	for _, run := range []struct {
+		ctx  *Context
+		path string
+	}{{ctxA, pathA}, {ctxB, pathB}} {
+		w, err := core.Train(run.ctx.Labels, run.ctx.TreeCfg, features.DefaultConfig(), run.ctx.Mach)
+		if err != nil {
+			t.Fatalf("training: %v", err)
+		}
+		if err := w.Save(run.path); err != nil {
+			t.Fatalf("saving: %v", err)
+		}
+	}
+	bytesA, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesB, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Errorf("saved models are not byte-identical (%d vs %d bytes)", len(bytesA), len(bytesB))
+	}
+
+	// Cross-validation uses a parallel fold runner; its confusion matrix
+	// must not depend on worker scheduling.
+	for _, mi := range []int{0, len(ctxA.Labels[0].Methods) / 2} {
+		cmA, err := core.ConfusionForMethod(ctxA.Labels, mi, ctxA.TreeCfg, ctxA.Folds, ctxA.Seed)
+		if err != nil {
+			t.Fatalf("CV run A method %d: %v", mi, err)
+		}
+		cmB, err := core.ConfusionForMethod(ctxB.Labels, mi, ctxB.TreeCfg, ctxB.Folds, ctxB.Seed)
+		if err != nil {
+			t.Fatalf("CV run B method %d: %v", mi, err)
+		}
+		if !reflect.DeepEqual(cmA.Counts, cmB.Counts) {
+			t.Errorf("method %d: CV confusion matrices differ between runs:\n%v\nvs\n%v",
+				mi, cmA.Counts, cmB.Counts)
+		}
+	}
+}

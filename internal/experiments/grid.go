@@ -105,7 +105,7 @@ func uniqueOrdered(pts []sweepPoint, key func(sweepPoint) string) []string {
 // "2^13"-style for rows and plain numbers for degrees.
 func atofSafe(s string) float64 {
 	var v float64
-	fmt.Sscanf(strings.TrimPrefix(s, "2^"), "%g", &v)
+	_, _ = fmt.Sscanf(strings.TrimPrefix(s, "2^"), "%g", &v) // parse failure intentionally yields 0
 	return v
 }
 

@@ -114,7 +114,7 @@ func Extract(m *matrix.CSR, cfg Config) Features {
 	rowSide := rowSideCounts(m, t)
 	colSide := colSideCounts(m, t)
 	denomNNZ := float64(nnz)
-	if denomNNZ == 0 {
+	if nnz == 0 {
 		denomNNZ = 1
 	}
 	add("uniqR", float64(rowSide[1])/denomNNZ)

@@ -150,7 +150,7 @@ func normalizeL2(v []float64) {
 	for _, x := range v {
 		s += x * x
 	}
-	if s == 0 {
+	if s == 0 { //lint:ignore floateq sum of squares is exactly 0 only for the all-zero vector
 		return
 	}
 	inv := 1 / math.Sqrt(s)

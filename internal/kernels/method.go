@@ -105,7 +105,7 @@ func (m Method) String() string {
 func (m Method) Validate() error {
 	switch m.Kind {
 	case CSR:
-		if m.C != 0 || m.Sigma != 0 || m.T != 0 {
+		if m.C != 0 || m.Sigma != 0 || m.T != 0 { //lint:ignore floateq T==0 is the explicit parameter-unset sentinel
 			return fmt.Errorf("kernels: CSR takes no c/sigma/T, got %+v", m)
 		}
 	case SELLPACK:
@@ -143,7 +143,7 @@ func (m Method) Validate() error {
 		if m.C < 1 {
 			return fmt.Errorf("kernels: SegCSR needs a column window >= 1 in C")
 		}
-		if m.Sigma != 0 || m.T != 0 {
+		if m.Sigma != 0 || m.T != 0 { //lint:ignore floateq T==0 is the explicit parameter-unset sentinel
 			return fmt.Errorf("kernels: SegCSR takes no sigma/T")
 		}
 	default:

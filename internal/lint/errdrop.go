@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags call statements that silently discard an error
+// result in production code. A dropped error in the corpus/labeling/model
+// persistence paths turns an I/O failure into corrupted training data.
+// Writers that are documented never to fail (strings.Builder, bytes.Buffer,
+// fmt printing to stdout/stderr) are allowed; everything else must handle
+// the error, assign it explicitly (err/_), or carry a //lint:ignore with a
+// rationale. Deferred calls (the idiomatic defer f.Close() on read paths)
+// are deliberately out of scope.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags expression statements that discard an error return",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(info, call) || errAllowlisted(info, call) {
+				return true
+			}
+			pass.Reportf(st.Pos(), "error returned by %s is discarded; handle it or assign it explicitly",
+				exprString(pass, call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result is, or ends with, an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errType)
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errAllowlisted reports whether the call is one of the never-fails writer
+// idioms that Go code conventionally does not check.
+func errAllowlisted(info *types.Info, call *ast.CallExpr) bool {
+	fn := resolvedFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+
+	// fmt.Print/Printf/Println write to stdout.
+	if pkg == "fmt" && (name == "Print" || name == "Printf" || name == "Println") {
+		return true
+	}
+	// fmt.Fprint* when the destination cannot fail: the standard out/err
+	// streams (best-effort diagnostics) or in-memory buffers.
+	if pkg == "fmt" && len(call.Args) > 0 &&
+		(name == "Fprint" || name == "Fprintf" || name == "Fprintln") {
+		return isStdStream(call.Args[0]) || isMemWriter(info, call.Args[0])
+	}
+	// Methods on strings.Builder / bytes.Buffer are documented to never
+	// return a non-nil error.
+	if recv := receiverNamed(fn); (recv == "Builder" && pkg == "strings") || (recv == "Buffer" && pkg == "bytes") {
+		return true
+	}
+	return false
+}
+
+// isStdStream reports whether e is the selector os.Stdout or os.Stderr.
+func isStdStream(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+// isMemWriter reports whether e has type *strings.Builder or *bytes.Buffer.
+func isMemWriter(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// exprString renders an expression as source text for messages.
+func exprString(pass *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, e); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

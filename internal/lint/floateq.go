@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands in
+// production code. Exact float equality is almost always a latent bug in a
+// pipeline built on estimated cycles and normalized times; comparisons
+// belong in epsilon helpers. Functions whose names read as epsilon helpers
+// (approx/almost/near/within/eps/tol) are exempt, and deliberate bit-exact
+// comparisons carry a //lint:ignore with a rationale.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on float operands outside approved epsilon helpers",
+	Run:  runFloatEq,
+}
+
+// epsilonHelperRe matches function names that are understood to implement a
+// tolerance-based comparison and may therefore compare floats exactly (for
+// fast paths, NaN handling, and the tolerance arithmetic itself).
+var epsilonHelperRe = regexp.MustCompile(`(?i)(approx|almost|near|within|eps|tol)`)
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && epsilonHelperRe.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := info.Types[be.X], info.Types[be.Y]
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant fold, decided at compile time
+				}
+				pass.Reportf(be.OpPos,
+					"float comparison with %s; use an epsilon helper (or //lint:ignore floateq <why bit-exact is intended>)",
+					be.Op)
+				return true
+			})
+		}
+	}
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpanHygieneAnalyzer checks that every obs span opened in a function
+// (obs.Begin or (*obs.Span).Child) is ended in that same function — either
+// with a defer or an explicit End on every path the code relies on. A span
+// that never ends reports a bogus in-flight duration forever and skews every
+// metrics snapshot taken after it. Spans that escape the function (returned,
+// stored in a field, passed along) are intentionally out of scope: ownership
+// moved, and the analyzer only reasons locally.
+var SpanHygieneAnalyzer = &Analyzer{
+	Name: "spanhygiene",
+	Doc:  "every obs span started in a function must be ended in that function",
+	Run:  runSpanHygiene,
+}
+
+func runSpanHygiene(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpansInFunc(pass, fd)
+		}
+	}
+}
+
+func checkSpansInFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Pass 1: every span-creating call in the function.
+	spanCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSpanCreator(info, call) {
+			spanCalls[call] = true
+		}
+		return true
+	})
+	if len(spanCalls) == 0 {
+		return
+	}
+
+	// Pass 2: classify each creation site. Tracked variables need an End;
+	// chained obs.Begin(...).End() is consumed on the spot; results that
+	// escape (returns, arguments, fields) are skipped.
+	tracked := make(map[types.Object]*ast.CallExpr) // span var -> first creation
+	consumed := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !spanCalls[call] {
+					continue
+				}
+				consumed[call] = true
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // field or index target: span escapes local reasoning
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "obs span assigned to _ can never be ended")
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil {
+					if _, seen := tracked[obj]; !seen {
+						tracked[obj] = call
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range st.Values {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !spanCalls[call] || i >= len(st.Names) {
+					continue
+				}
+				consumed[call] = true
+				if obj := info.Defs[st.Names[i]]; obj != nil {
+					if _, seen := tracked[obj]; !seen {
+						tracked[obj] = call
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && spanCalls[call] {
+				consumed[call] = true
+				pass.Reportf(call.Pos(), "obs span started and immediately discarded; assign it and call End")
+			}
+		case *ast.SelectorExpr:
+			// obs.Begin("x").End() chained inline (typically under defer).
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && spanCalls[call] && st.Sel.Name == "End" {
+				consumed[call] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 3: End calls on tracked variables (plain or deferred).
+	ended := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				ended[obj] = true
+			}
+		}
+		return true
+	})
+
+	for obj, call := range tracked {
+		if !ended[obj] {
+			pass.Reportf(call.Pos(), "obs span %q is never ended in %s; add defer %s.End() or an explicit End on every path",
+				obj.Name(), fd.Name.Name, obj.Name())
+		}
+	}
+}
+
+// isSpanCreator reports whether the call statically resolves to obs.Begin,
+// (*obs.Registry).Begin, or (*obs.Span).Child.
+func isSpanCreator(info *types.Info, call *ast.CallExpr) bool {
+	fn := resolvedFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	return fn.Name() == "Begin" || fn.Name() == "Child"
+}

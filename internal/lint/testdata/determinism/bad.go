@@ -1,0 +1,29 @@
+// Fixture: true positives for the determinism analyzer.
+//
+//lint:path wise/internal/gen/lintfixture
+package lintfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobalIntn() int {
+	return rand.Intn(10) // want determinism
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want determinism
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64() // want determinism
+}
+
+func badTimeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want determinism
+}
+
+func badWallClockValue() int64 {
+	return time.Now().UnixNano() // want determinism
+}

@@ -1,0 +1,33 @@
+// Fixture: code the determinism analyzer must accept.
+package lintfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func goodSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func goodThreadedRNG(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+func goodZipf(rng *rand.Rand) uint64 {
+	z := rand.NewZipf(rng, 1.5, 1, 100)
+	return z.Uint64()
+}
+
+// goodDuration is the allowlisted obs/progress wall-clock pattern: time.Now
+// feeding time.Since never converts the clock to a number.
+func goodDuration() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func suppressedGlobal() int {
+	//lint:ignore determinism fixture exercises the suppression machinery
+	return rand.Intn(3)
+}

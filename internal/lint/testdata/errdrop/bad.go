@@ -1,0 +1,27 @@
+// Fixture: true positives for the errdrop analyzer.
+package lintfixture
+
+import (
+	"fmt"
+	"os"
+)
+
+func mayFail() error { return nil }
+
+func mayFailWithValue() (int, error) { return 0, nil }
+
+func badDrop() {
+	mayFail() // want errdrop
+}
+
+func badDropTuple() {
+	mayFailWithValue() // want errdrop
+}
+
+func badFprintfFile(f *os.File) {
+	fmt.Fprintf(f, "data\n") // want errdrop
+}
+
+func badClose(f *os.File) {
+	f.Close() // want errdrop
+}

@@ -1,0 +1,43 @@
+// Fixture: code the errdrop analyzer must accept.
+package lintfixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func goodHandled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodExplicitBlank discards visibly; the assignment documents intent.
+func goodExplicitBlank() {
+	_ = mayFail()
+}
+
+func goodStdStreams() {
+	fmt.Println("to stdout")
+	fmt.Fprintln(os.Stderr, "best-effort diagnostic")
+}
+
+func goodMemWriters() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", 1)
+	b.WriteString("tail")
+	return b.String()
+}
+
+// goodDeferredClose is out of scope by design: the deferred-Close idiom on
+// read paths is fine.
+func goodDeferredClose(f *os.File) {
+	defer f.Close()
+}
+
+func suppressedDrop() {
+	//lint:ignore errdrop best-effort cleanup; failure is benign here
+	mayFail()
+}

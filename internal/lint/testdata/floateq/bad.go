@@ -1,0 +1,18 @@
+// Fixture: true positives for the floateq analyzer.
+package lintfixture
+
+func badEqual(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func badNotEqual(a, b float32) bool {
+	return a != b // want floateq
+}
+
+func badAgainstZero(x float64) bool {
+	return x == 0 // want floateq
+}
+
+func badMixedConst(x float64) bool {
+	return 1.5 == x // want floateq
+}

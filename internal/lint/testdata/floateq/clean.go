@@ -1,0 +1,31 @@
+// Fixture: code the floateq analyzer must accept.
+package lintfixture
+
+func goodInts(a, b int) bool { return a == b }
+
+func goodOrdering(a, b float64) bool { return a < b }
+
+// approxEqual is an approved epsilon helper (name matches the helper
+// pattern); exact comparisons inside it are the fast path and NaN guard.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// withinTol is likewise exempt by name.
+func withinTol(x, tol float64) bool { return x == x && x <= tol }
+
+func goodConstFold() bool {
+	return 1.0 == 2.0 // constants fold at compile time; nothing to flag
+}
+
+func suppressedExact(a, b float64) bool {
+	//lint:ignore floateq bit-exact comparison is this helper's contract
+	return a == b
+}

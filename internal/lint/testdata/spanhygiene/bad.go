@@ -1,0 +1,22 @@
+// Fixture: true positives for the spanhygiene analyzer.
+package lintfixture
+
+import "wise/internal/obs"
+
+func badLeaked() {
+	span := obs.Begin("leaked") // want spanhygiene
+	_ = span
+}
+
+func badDiscarded() {
+	obs.Begin("dropped") // want spanhygiene
+}
+
+func badChildLeaked(parent *obs.Span) {
+	c := parent.Child("child") // want spanhygiene
+	_ = c
+}
+
+func badBlankSpan() {
+	_ = obs.Begin("blank") // want spanhygiene
+}

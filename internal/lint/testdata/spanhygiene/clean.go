@@ -1,0 +1,38 @@
+// Fixture: code the spanhygiene analyzer must accept.
+package lintfixture
+
+import "wise/internal/obs"
+
+func goodDefer() {
+	span := obs.Begin("ok")
+	defer span.End()
+}
+
+// goodSequential is the CLI pattern: one variable reused across stages with
+// an End between reassignments.
+func goodSequential() {
+	span := obs.Begin("stage-a")
+	span.End()
+	span = obs.Begin("stage-b")
+	span.End()
+}
+
+func goodChildDefer(parent *obs.Span) {
+	c := parent.Child("child")
+	defer c.End()
+}
+
+func goodChainedDefer() {
+	defer obs.Begin("inline").End()
+}
+
+// goodEscapes hands ownership to the caller; local analysis stops here.
+func goodEscapes() *obs.Span {
+	return obs.Begin("escapes")
+}
+
+func suppressedLeak() {
+	//lint:ignore spanhygiene fixture exercises the suppression machinery
+	s := obs.Begin("suppressed")
+	_ = s
+}

@@ -72,7 +72,7 @@ func FromDense(rows, cols int, dense []float64) *CSR {
 	c := NewCOO(rows, cols)
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
-			if v := dense[i*cols+j]; v != 0 {
+			if v := dense[i*cols+j]; v != 0 { //lint:ignore floateq sparsity is defined by bit-exact zero
 				c.Add(int32(i), int32(j), v)
 			}
 		}

@@ -148,7 +148,7 @@ func (m *CSR) Equal(o *CSR) bool {
 		}
 	}
 	for i := range m.ColIdx {
-		if m.ColIdx[i] != o.ColIdx[i] || m.Vals[i] != o.Vals[i] {
+		if m.ColIdx[i] != o.ColIdx[i] || m.Vals[i] != o.Vals[i] { //lint:ignore floateq Equal is a deliberate bit-exact structural comparison
 			return false
 		}
 	}

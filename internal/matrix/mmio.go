@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -33,10 +34,35 @@ func WriteMatrixMarket(w io.Writer, m *CSR) error {
 	return bw.Flush()
 }
 
+// ReadLimits bounds what the MatrixMarket reader accepts. The header of an
+// untrusted stream declares dimensions and entry counts that drive
+// allocations, so defensive callers (and the fuzz harness) cap them.
+type ReadLimits struct {
+	MaxRows int
+	MaxCols int
+	MaxNNZ  int
+}
+
+// DefaultReadLimits admits anything addressable by the int32 index space
+// CSR uses; only the entry count stays effectively unbounded.
+func DefaultReadLimits() ReadLimits {
+	return ReadLimits{MaxRows: math.MaxInt32, MaxCols: math.MaxInt32, MaxNNZ: math.MaxInt}
+}
+
+// maxEntryPrealloc caps the entry capacity reserved from the declared nnz
+// before any entry has been read — a tiny header must not reserve gigabytes.
+const maxEntryPrealloc = 1 << 16
+
 // ReadMatrixMarket parses a MatrixMarket coordinate file into CSR form.
 // Symmetric and skew-symmetric matrices are expanded; pattern matrices get
 // value 1 for every entry.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	return ReadMatrixMarketLimited(r, DefaultReadLimits())
+}
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with explicit header limits,
+// for parsing untrusted input with bounded memory.
+func ReadMatrixMarketLimited(r io.Reader, lim ReadLimits) (*CSR, error) {
 	br := bufio.NewScanner(r)
 	br.Buffer(make([]byte, 1<<20), 1<<20)
 	if !br.Scan() {
@@ -83,9 +109,20 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, ErrDimension
 	}
+	if rows > lim.MaxRows || cols > lim.MaxCols || nnz > lim.MaxNNZ {
+		return nil, fmt.Errorf("%w: %dx%d with %d entries exceeds read limits %dx%d/%d",
+			ErrDimension, rows, cols, nnz, lim.MaxRows, lim.MaxCols, lim.MaxNNZ)
+	}
+	// The MatrixMarket spec defines symmetry only for square matrices; the
+	// mirrored entry of a rectangular "symmetric" file could land outside
+	// the matrix.
+	if symmetry != "general" && rows != cols {
+		return nil, fmt.Errorf("%w: %s matrix must be square, got %dx%d",
+			ErrDimension, symmetry, rows, cols)
+	}
 
 	coo := NewCOO(rows, cols)
-	coo.Entries = make([]Entry, 0, nnz)
+	coo.Entries = make([]Entry, 0, min(nnz, maxEntryPrealloc))
 	read := 0
 	for read < nnz && br.Scan() {
 		line := strings.TrimSpace(br.Text())

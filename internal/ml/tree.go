@@ -174,6 +174,7 @@ func grow(d Dataset, idx []int, cfg TreeConfig, depth int) *Node {
 		counts:   counts,
 		Feature:  -1,
 	}
+	//lint:ignore floateq Gini impurity of a pure node is exactly 0 by construction
 	if node.Impurity == 0 || depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinSamplesLeaf {
 		return node
 	}
@@ -225,7 +226,7 @@ func bestSplit(d Dataset, idx []int, parentCounts []int, cfg TreeConfig) (featur
 			leftCounts[d.Y[i]]++
 			nLeft++
 			v, next := d.X[i][f], d.X[order[k+1]][f]
-			if v == next {
+			if v == next { //lint:ignore floateq duplicate sorted feature values are bit-identical
 				continue // not a valid threshold position
 			}
 			if nLeft < cfg.MinSamplesLeaf || n-nLeft < cfg.MinSamplesLeaf {
@@ -238,6 +239,7 @@ func bestSplit(d Dataset, idx []int, parentCounts []int, cfg TreeConfig) (featur
 				bestGain = g
 				bestFeature = f
 				bestThreshold = v + (next-v)/2
+				//lint:ignore floateq detects midpoint rounding collapse, which is bit-exact by nature
 				if math.IsInf(bestThreshold, 0) || bestThreshold == next {
 					bestThreshold = v
 				}

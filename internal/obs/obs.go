@@ -94,6 +94,7 @@ func (r *Registry) verboseWriter() io.Writer {
 // enabled, and is a no-op otherwise.
 func (r *Registry) Verbosef(format string, args ...any) {
 	if w := r.verboseWriter(); w != nil {
+		//lint:ignore errdrop verbose narration is best-effort; a failing sink must not break the pipeline
 		fmt.Fprintf(w, format+"\n", args...)
 	}
 }

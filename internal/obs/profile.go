@@ -16,6 +16,7 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
+		//lint:ignore errdrop already on a failure path; the pprof error is the one to surface
 		f.Close()
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}

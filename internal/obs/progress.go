@@ -100,10 +100,12 @@ func (p *Progress) print(done int64, final bool) {
 		pct = 100 * float64(done) / float64(p.total)
 	}
 	if final {
+		//lint:ignore errdrop progress output is best-effort; a failing sink must not break the run
 		fmt.Fprintf(p.w, "\r%s: %d/%d (%.0f%%) in %v          \n",
 			p.label, done, p.total, pct, elapsed.Round(time.Millisecond))
 		return
 	}
+	//lint:ignore errdrop progress output is best-effort; a failing sink must not break the run
 	fmt.Fprintf(p.w, "\r%s: %d/%d (%.0f%%) eta %v   ",
 		p.label, done, p.total, pct, p.eta(done, elapsed))
 }

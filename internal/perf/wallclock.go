@@ -116,7 +116,7 @@ func RankCorrelation(a, b []float64) float64 {
 		varA += da * da
 		varB += db * db
 	}
-	if varA == 0 || varB == 0 {
+	if varA == 0 || varB == 0 { //lint:ignore floateq zero-variance guard before dividing; exact by intent
 		return 0
 	}
 	return cov / (math.Sqrt(varA) * math.Sqrt(varB))
@@ -138,7 +138,7 @@ func ranks(v []float64) []float64 {
 	i := 0
 	for i < n {
 		j := i
-		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] { //lint:ignore floateq rank ties are defined by bit-equal values
 			j++
 		}
 		avg := (float64(i) + float64(j)) / 2

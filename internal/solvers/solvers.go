@@ -71,7 +71,7 @@ func CG(op Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
 	copy(p, r)
 	rr := Dot(r, r)
 	bNorm := math.Sqrt(Dot(b, b))
-	if bNorm == 0 {
+	if bNorm == 0 { //lint:ignore floateq zero RHS norm is exact; fall back to absolute tolerance
 		bNorm = 1
 	}
 	target := tol * bNorm
@@ -81,7 +81,7 @@ func CG(op Operator, b, x []float64, tol float64, maxIter int) (Result, error) {
 		}
 		op(ap, p)
 		pap := Dot(p, ap)
-		if pap == 0 || math.IsNaN(pap) {
+		if pap == 0 || math.IsNaN(pap) { //lint:ignore floateq Krylov breakdown is defined by an exactly-zero inner product
 			return Result{Iterations: k, Residual: math.Sqrt(rr)}, ErrBreakdown
 		}
 		alpha := rr / pap
@@ -118,7 +118,7 @@ func BiCGSTAB(op Operator, b, x []float64, tol float64, maxIter int) (Result, er
 	}
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	bNorm := math.Sqrt(Dot(b, b))
-	if bNorm == 0 {
+	if bNorm == 0 { //lint:ignore floateq zero RHS norm is exact; fall back to absolute tolerance
 		bNorm = 1
 	}
 	target := tol * bNorm
@@ -128,7 +128,7 @@ func BiCGSTAB(op Operator, b, x []float64, tol float64, maxIter int) (Result, er
 			return Result{Iterations: k, Residual: res, Converged: true}, nil
 		}
 		rhoNew := Dot(rHat, r)
-		if rhoNew == 0 {
+		if rhoNew == 0 { //lint:ignore floateq Krylov breakdown is defined by an exactly-zero inner product
 			return Result{Iterations: k, Residual: res}, ErrBreakdown
 		}
 		beta := (rhoNew / rho) * (alpha / omega)
@@ -138,7 +138,7 @@ func BiCGSTAB(op Operator, b, x []float64, tol float64, maxIter int) (Result, er
 		}
 		op(v, p)
 		den := Dot(rHat, v)
-		if den == 0 {
+		if den == 0 { //lint:ignore floateq Krylov breakdown is defined by an exactly-zero inner product
 			return Result{Iterations: k, Residual: res}, ErrBreakdown
 		}
 		alpha = rho / den
@@ -147,7 +147,7 @@ func BiCGSTAB(op Operator, b, x []float64, tol float64, maxIter int) (Result, er
 		}
 		op(t, s)
 		tt := Dot(t, t)
-		if tt == 0 {
+		if tt == 0 { //lint:ignore floateq exactly-zero t means s is the exact remaining residual
 			// s is the exact remaining residual direction; x += alpha*p ends it.
 			Axpy(alpha, p, x)
 			copy(r, s)
@@ -160,7 +160,7 @@ func BiCGSTAB(op Operator, b, x []float64, tol float64, maxIter int) (Result, er
 		for i := range r {
 			r[i] = s[i] - omega*t[i]
 		}
-		if omega == 0 {
+		if omega == 0 { //lint:ignore floateq BiCGSTAB breakdown is defined by an exactly-zero omega
 			return Result{Iterations: k + 1, Residual: math.Sqrt(Dot(r, r))}, ErrBreakdown
 		}
 	}
@@ -184,14 +184,14 @@ func Jacobi(m *matrix.CSR, b, x []float64, tol float64, maxIter int) (Result, er
 				diag[i] = vals[k]
 			}
 		}
-		if diag[i] == 0 {
+		if diag[i] == 0 { //lint:ignore floateq Jacobi requires a bit-exact nonzero diagonal to divide by
 			return Result{}, errors.New("solvers: Jacobi needs a nonzero diagonal")
 		}
 	}
 	next := make([]float64, n)
 	ax := make([]float64, n)
 	bNorm := math.Sqrt(Dot(b, b))
-	if bNorm == 0 {
+	if bNorm == 0 { //lint:ignore floateq zero RHS norm is exact; fall back to absolute tolerance
 		bNorm = 1
 	}
 	for k := 0; k < maxIter; k++ {
@@ -230,7 +230,7 @@ func PowerIteration(op Operator, x []float64, tol float64, maxIter int) (float64
 		op(y, x)
 		newLambda := Dot(x, y)
 		nrm := math.Sqrt(Dot(y, y))
-		if nrm == 0 {
+		if nrm == 0 { //lint:ignore floateq exactly-zero iterate norm means the operator annihilated x
 			return 0, Result{Iterations: k, Converged: true}
 		}
 		for i := range x {
@@ -246,7 +246,7 @@ func PowerIteration(op Operator, x []float64, tol float64, maxIter int) (float64
 
 func normalize(x []float64) {
 	nrm := math.Sqrt(Dot(x, x))
-	if nrm == 0 {
+	if nrm == 0 { //lint:ignore floateq zero-vector guard; exact 0 only for the all-zero vector
 		return
 	}
 	for i := range x {

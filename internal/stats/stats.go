@@ -95,7 +95,7 @@ func Gini(counts []int64) float64 {
 		total += v
 		weighted += float64(i+1) * v
 	}
-	if total == 0 {
+	if total == 0 { //lint:ignore floateq sum of non-negative integer counts is 0 only when all are 0
 		return 0
 	}
 	nf := float64(n)
@@ -128,7 +128,7 @@ func PRatio(counts []int64) float64 {
 	for _, c := range sorted {
 		total += float64(c)
 	}
-	if total == 0 {
+	if total == 0 { //lint:ignore floateq sum of non-negative integer counts is 0 only when all are 0
 		return 0.5
 	}
 	nf := float64(n)
@@ -143,7 +143,7 @@ func PRatio(counts []int64) float64 {
 			// Interpolate between (prevFrac, prevShare) and (frac, share).
 			f0 := prevShare + prevFrac - 1
 			f1 := share + frac - 1
-			if f1 == f0 {
+			if f1 == f0 { //lint:ignore floateq degenerate-interpolation guard before dividing by f1-f0
 				return frac
 			}
 			t := -f0 / (f1 - f0)

@@ -5,6 +5,8 @@ package wise
 // (generate -> features -> train -> predict -> bench).
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -54,6 +56,24 @@ func runCLI(t *testing.T, name string, args ...string) string {
 		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
 	}
 	return string(out)
+}
+
+// runCLIExit runs a CLI expecting a specific exit code (possibly nonzero),
+// with extra environment variables (e.g. WISE_FAULTS, see RESILIENCE.md).
+func runCLIExit(t *testing.T, env []string, name string, args ...string) (string, int) {
+	t.Helper()
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out), exitErr.ExitCode()
 }
 
 func TestCLIGenSingleMatrix(t *testing.T) {
@@ -198,5 +218,105 @@ func TestCLIPredictExplain(t *testing.T) {
 	out := runCLI(t, "wise-predict", "-models", models, "-explain", mtx)
 	if !strings.Contains(out, "decision path") {
 		t.Errorf("explain output missing path:\n%s", out)
+	}
+}
+
+// Exit codes are part of the CLI contract (RESILIENCE.md): 2 for usage
+// errors, 1 for I/O failures, and the error must name the offending
+// flag or file.
+func TestCLIExitCodes(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name     string
+		tool     string
+		args     []string
+		env      []string
+		wantCode int
+		wantMsg  string
+	}{
+		{"predict no matrix", "wise-predict", nil, nil, 2, "usage"},
+		{"predict missing models", "wise-predict", []string{"-models", filepath.Join(tmp, "nope.json"), filepath.Join(tmp, "nope.mtx")}, nil, 1, "-models"},
+		{"features missing matrix", "wise-features", []string{filepath.Join(tmp, "nope.mtx")}, nil, 1, "nope.mtx"},
+		{"train stray arg", "wise-train", []string{"stray"}, nil, 2, "unexpected argument"},
+		{"bench unknown experiment", "wise-bench", []string{"-small", "-exp", "nonsense"}, nil, 2, "unknown experiment"},
+		{"gen unknown kind", "wise-gen", []string{"-kind", "nonsense"}, nil, 2, "unknown generator"},
+		{"bad fault spec", "wise-train", []string{"-small"}, []string{"WISE_FAULTS=not-a-spec"}, 2, "WISE_FAULTS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runCLIExit(t, tc.env, tc.tool, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d\n%s", code, tc.wantCode, out)
+			}
+			if !strings.Contains(out, tc.wantMsg) {
+				t.Errorf("output missing %q:\n%s", tc.wantMsg, out)
+			}
+		})
+	}
+}
+
+// TestCLITrainInterruptResume is the end-to-end kill-and-resume guarantee:
+// a wise-train run interrupted mid-labeling (via deterministic fault
+// injection, the same code path as SIGINT) exits 130 with a checkpoint,
+// and rerunning the same command resumes and produces models byte-identical
+// to a never-interrupted run.
+func TestCLITrainInterruptResume(t *testing.T) {
+	tmp := t.TempDir()
+	reference := filepath.Join(tmp, "reference.json")
+	resumed := filepath.Join(tmp, "resumed.json")
+	ckpt := filepath.Join(tmp, "labels.ckpt")
+
+	runCLI(t, "wise-train", "-small", "-folds", "2", "-out", reference)
+
+	out, code := runCLIExit(t,
+		[]string{"WISE_FAULTS=perf.label.interrupt:error:after=3"},
+		"wise-train", "-small", "-folds", "2", "-out", resumed, "-checkpoint", ckpt)
+	if code != 130 {
+		t.Fatalf("interrupted run exit code = %d, want 130\n%s", code, out)
+	}
+	if !strings.Contains(out, "checkpoint saved") {
+		t.Errorf("interrupted run did not report the checkpoint:\n%s", out)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after interrupt: %v", err)
+	}
+	if _, err := os.Stat(resumed); err == nil {
+		t.Fatal("interrupted run still wrote models")
+	}
+
+	out2 := runCLI(t, "wise-train", "-small", "-folds", "2", "-out", resumed, "-checkpoint", ckpt)
+	if !strings.Contains(out2, "resumed") {
+		t.Errorf("resume run did not report resumed matrices:\n%s", out2)
+	}
+
+	ref, err := os.ReadFile(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Errorf("resumed models differ from uninterrupted run (%d vs %d bytes)", len(got), len(ref))
+	}
+}
+
+// A panic while labeling one matrix must quarantine that matrix, not
+// abort the run.
+func TestCLITrainQuarantine(t *testing.T) {
+	tmp := t.TempDir()
+	models := filepath.Join(tmp, "models.json")
+	out, code := runCLIExit(t,
+		[]string{"WISE_FAULTS=perf.label.matrix:panic:after=2"},
+		"wise-train", "-small", "-folds", "2", "-out", models)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "quarantined during labeling") {
+		t.Errorf("quarantine not reported:\n%s", out)
+	}
+	if _, err := os.Stat(models); err != nil {
+		t.Errorf("quarantine aborted the run: %v", err)
 	}
 }

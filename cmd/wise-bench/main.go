@@ -7,6 +7,7 @@
 //	wise-bench -full -outdir results
 //	wise-bench -small               # CI-size smoke corpus (-medium in between)
 //	wise-bench -v -metrics m.json   # live progress + per-stage metrics
+//	wise-bench -checkpoint run.ckpt # resumable labeling (RESILIENCE.md)
 //
 // The expensive labeling pass (cache-simulating cost model, 29 methods per
 // matrix) can be cached across runs with -save-labels/-load-labels. The
@@ -14,12 +15,18 @@
 // by every wise CLI and documented in OBSERVABILITY.md; -v reports live
 // labeling/evaluation progress with ETA, and -metrics writes a JSON
 // snapshot with the corpus {gen, label} spans and one span per experiment.
+//
+// Fault tolerance (RESILIENCE.md): -checkpoint makes labeling resumable;
+// SIGINT/SIGTERM flushes completed labels and exits with status 130.
+// Exit codes: 0 success, 1 I/O or pipeline failure, 2 usage error, 130
+// interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,11 +36,23 @@ import (
 	"wise/internal/gen"
 	"wise/internal/obs"
 	"wise/internal/perf"
+	"wise/internal/resilience"
+	"wise/internal/resilience/faultinject"
+)
+
+// Exit codes, shared by the wise CLIs and documented in RESILIENCE.md.
+const (
+	exitOK          = 0
+	exitIO          = 1
+	exitUsage       = 2
+	exitInterrupted = 130
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("wise-bench: ")
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, ie, table4, importance, ablations")
 		full       = flag.Bool("full", false, "use the full paper-shaped corpus (much slower)")
@@ -44,15 +63,27 @@ func main() {
 		seed       = flag.Int64("seed", 1, "corpus seed")
 		saveLabels = flag.String("save-labels", "", "after labeling, save the labeled corpus to this gzipped JSON file")
 		loadLabels = flag.String("load-labels", "", "skip labeling and reuse a corpus saved with -save-labels")
+		checkpoint = flag.String("checkpoint", "", "labeling checkpoint file for resumable runs (see RESILIENCE.md)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wise-bench: unexpected argument %q (wise-bench takes only flags)\n", flag.Arg(0))
+		return exitUsage
+	}
+	if err := faultinject.ConfigureFromEnv(os.Getenv); err != nil {
+		fmt.Fprintf(os.Stderr, "wise-bench: %v\n", err)
+		return exitUsage
+	}
 	finishObs := obsFlags.MustStart()
 	defer func() {
 		if err := finishObs(); err != nil {
-			log.Print(err)
+			fmt.Fprintf(os.Stderr, "wise-bench: %v\n", err)
 		}
 	}()
+
+	sigCtx, stop := resilience.SignalContext(context.Background())
+	defer stop()
 
 	ccfg := experiments.DefaultContextConfig()
 	if *full {
@@ -66,6 +97,7 @@ func main() {
 	}
 	ccfg.Corpus.Seed = *seed
 	ccfg.Workers = *workers
+	ccfg.Checkpoint = *checkpoint
 
 	needsCorpus := *exp != "fig5" && *exp != "fig6"
 	t0 := time.Now()
@@ -74,13 +106,26 @@ func main() {
 	case *loadLabels != "":
 		labels, err := perf.LoadLabels(*loadLabels)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "wise-bench: -load-labels %s: %v\n", *loadLabels, err)
+			return exitIO
 		}
 		ctx = experiments.NewContextFromLabels(labels)
 		fmt.Fprintf(os.Stderr, "loaded %d labeled matrices from %s\n\n", len(ctx.Labels), *loadLabels)
 	case needsCorpus || *exp == "all":
 		fmt.Fprintf(os.Stderr, "labeling corpus (this runs the cache-simulating cost model on 29 methods per matrix)...\n")
-		ctx = experiments.NewContext(ccfg)
+		var err error
+		ctx, err = experiments.NewContextCtx(sigCtx, ccfg)
+		if ctx != nil && ctx.Resumed > 0 {
+			fmt.Fprintf(os.Stderr, "resumed %d already-labeled matrices from %s\n", ctx.Resumed, *checkpoint)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wise-bench: %v\n", err)
+			if errors.Is(err, perf.ErrInterrupted) {
+				return exitInterrupted
+			}
+			return exitIO
+		}
+		reportQuarantine(ctx.Quarantined)
 		fmt.Fprintf(os.Stderr, "labeled %d matrices in %v\n\n", len(ctx.Labels), time.Since(t0).Round(time.Second))
 	default:
 		// Sweeps only need the estimator, not the corpus: use a tiny context.
@@ -88,7 +133,8 @@ func main() {
 	}
 	if *saveLabels != "" {
 		if err := perf.SaveLabels(*saveLabels, ctx.Labels); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "wise-bench: -save-labels %s: %v\n", *saveLabels, err)
+			return exitIO
 		}
 		fmt.Fprintf(os.Stderr, "saved labels to %s\n", *saveLabels)
 	}
@@ -166,7 +212,8 @@ func main() {
 	case "ablations":
 		builds = ablations()
 	default:
-		log.Fatalf("unknown experiment %q", *exp)
+		fmt.Fprintf(os.Stderr, "wise-bench: unknown experiment %q for -exp\n", *exp)
+		return exitUsage
 	}
 
 	expSpan := obs.Begin("experiments")
@@ -185,15 +232,32 @@ func main() {
 		fmt.Println(tab.String())
 		if *outdir != "" {
 			if err := os.MkdirAll(*outdir, 0o755); err != nil {
-				log.Fatal(err)
+				fmt.Fprintf(os.Stderr, "wise-bench: creating -outdir %s: %v\n", *outdir, err)
+				return exitIO
 			}
 			name := strings.ReplaceAll(tab.ID, ".", "_") + ".txt"
-			if err := os.WriteFile(filepath.Join(*outdir, name), []byte(tab.String()), 0o644); err != nil {
-				log.Fatal(err)
+			path := filepath.Join(*outdir, name)
+			if err := resilience.AtomicWriteFile(path, []byte(tab.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "wise-bench: writing %s: %v\n", path, err)
+				return exitIO
 			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(t0).Round(time.Second))
+	return exitOK
+}
+
+// reportQuarantine prints the matrices withheld from the run (panic or
+// deadline during labeling); counts also land in the metrics snapshot as
+// perf.matrices_quarantined.
+func reportQuarantine(qs []perf.QuarantinedMatrix) {
+	if len(qs) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wise-bench: %d matrices quarantined during labeling:\n", len(qs))
+	for _, q := range qs {
+		fmt.Fprintf(os.Stderr, "  %-24s class=%-3s %s\n", q.Name, q.Class, q.Err)
+	}
 }
 
 func smallProbe(seed int64) gen.CorpusConfig {

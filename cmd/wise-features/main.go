@@ -7,39 +7,59 @@
 // The shared observability flags (-v, -metrics, -cpuprofile, -memprofile)
 // are documented in OBSERVABILITY.md; -cpuprofile is the easy way to
 // profile the feature-extraction pass on a big matrix.
+//
+// Exit codes (RESILIENCE.md): 0 success, 1 I/O failure (unreadable
+// matrix, named in the error), 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"wise/internal/features"
 	"wise/internal/matrix"
 	"wise/internal/obs"
+	"wise/internal/resilience/faultinject"
+)
+
+// Exit codes, shared by the wise CLIs and documented in RESILIENCE.md.
+const (
+	exitOK    = 0
+	exitIO    = 1
+	exitUsage = 2
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("wise-features: ")
+	os.Exit(run())
+}
+
+func run() int {
 	k := flag.Int("k", features.DefaultConfig().K, "tiling factor K (paper uses 2048)")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "wise-features: usage: wise-features [-k K] matrix.mtx")
+		return exitUsage
+	}
+	if err := faultinject.ConfigureFromEnv(os.Getenv); err != nil {
+		fmt.Fprintf(os.Stderr, "wise-features: %v\n", err)
+		return exitUsage
+	}
 	finishObs := obsFlags.MustStart()
 	defer func() {
 		if err := finishObs(); err != nil {
-			log.Print(err)
+			fmt.Fprintf(os.Stderr, "wise-features: %v\n", err)
 		}
 	}()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: wise-features [-k K] matrix.mtx")
-	}
 	m, err := matrix.ReadFile(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "wise-features: reading matrix %s: %v\n", flag.Arg(0), err)
+		return exitIO
 	}
 	f := features.Extract(m, features.Config{K: *k})
 	for i, name := range f.Names {
 		fmt.Printf("%-18s %g\n", name, f.Values[i])
 	}
+	return exitOK
 }

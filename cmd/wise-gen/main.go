@@ -10,13 +10,13 @@
 //
 // Corpus mode accepts -small (CI-size) and -full (paper-shaped). The
 // shared observability flags (-v, -metrics, -cpuprofile, -memprofile) are
-// documented in OBSERVABILITY.md.
+// documented in OBSERVABILITY.md. Matrix files are written atomically
+// (RESILIENCE.md). Exit codes: 0 success, 1 I/O failure, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"math/rand"
 	"os"
@@ -25,11 +25,21 @@ import (
 	"wise/internal/gen"
 	"wise/internal/matrix"
 	"wise/internal/obs"
+	"wise/internal/resilience/faultinject"
+)
+
+// Exit codes, shared by the wise CLIs and documented in RESILIENCE.md.
+const (
+	exitOK    = 0
+	exitIO    = 1
+	exitUsage = 2
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("wise-gen: ")
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		kind   = flag.String("kind", "rmat", "generator: rmat, rgg, banded, stencil2d, stencil3d, fem, powerlaw, uniform, corpus")
 		class  = flag.String("class", "HS", "RMAT class: HS, MS, LS, LL, ML, HL")
@@ -43,10 +53,18 @@ func main() {
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wise-gen: unexpected argument %q (wise-gen takes only flags)\n", flag.Arg(0))
+		return exitUsage
+	}
+	if err := faultinject.ConfigureFromEnv(os.Getenv); err != nil {
+		fmt.Fprintf(os.Stderr, "wise-gen: %v\n", err)
+		return exitUsage
+	}
 	finishObs := obsFlags.MustStart()
 	defer func() {
 		if err := finishObs(); err != nil {
-			log.Print(err)
+			fmt.Fprintf(os.Stderr, "wise-gen: %v\n", err)
 		}
 	}()
 	rng := rand.New(rand.NewSource(*seed))
@@ -66,17 +84,19 @@ func main() {
 		}
 		cfg.Seed = *seed
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "wise-gen: creating -outdir %s: %v\n", *outdir, err)
+			return exitIO
 		}
 		corpus := gen.Corpus(cfg)
 		for _, l := range corpus {
 			path := filepath.Join(*outdir, l.Name+".mtx")
 			if err := matrix.WriteFile(path, l.M); err != nil {
-				log.Fatal(err)
+				fmt.Fprintf(os.Stderr, "wise-gen: writing %s: %v\n", path, err)
+				return exitIO
 			}
 		}
 		fmt.Printf("wrote %d matrices to %s\n", len(corpus), *outdir)
-		return
+		return exitOK
 	}
 
 	var m *matrix.CSR
@@ -84,7 +104,8 @@ func main() {
 	case "rmat":
 		params, ok := gen.RMATClassParams[gen.Class(*class)]
 		if !ok {
-			log.Fatalf("unknown RMAT class %q", *class)
+			fmt.Fprintf(os.Stderr, "wise-gen: unknown RMAT class %q for -class\n", *class)
+			return exitUsage
 		}
 		m = gen.RMATRows(rng, *rows, *degree, params)
 	case "rgg":
@@ -109,17 +130,21 @@ func main() {
 	case "uniform":
 		m = gen.Uniform(rng, *rows, *degree)
 	default:
-		log.Fatalf("unknown generator %q", *kind)
+		fmt.Fprintf(os.Stderr, "wise-gen: unknown generator %q for -kind\n", *kind)
+		return exitUsage
 	}
 
 	if *out == "" {
 		if err := matrix.WriteMatrixMarket(os.Stdout, m); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "wise-gen: writing to stdout: %v\n", err)
+			return exitIO
 		}
-		return
+		return exitOK
 	}
 	if err := matrix.WriteFile(*out, m); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "wise-gen: writing -out %s: %v\n", *out, err)
+		return exitIO
 	}
 	fmt.Printf("wrote %s: %d x %d, %d nonzeros\n", *out, m.Rows, m.Cols, m.NNZ())
+	return exitOK
 }

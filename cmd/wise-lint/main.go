@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"wise/internal/lint"
+	"wise/internal/resilience"
 )
 
 func main() {
@@ -74,16 +76,6 @@ func main() {
 		fmt.Fprintln(human, relFinding(mod.Root, f))
 	}
 	if *jsonPath != "" {
-		out := os.Stdout
-		if *jsonPath != "-" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "wise-lint:", err)
-				os.Exit(2)
-			}
-			defer f.Close()
-			out = f
-		}
 		rel := make([]lint.Finding, len(findings))
 		for i, f := range findings {
 			rel[i] = f
@@ -91,7 +83,14 @@ func main() {
 				rel[i].File = r
 			}
 		}
-		if err := lint.WriteJSON(out, rel); err != nil {
+		var buf bytes.Buffer
+		if err := lint.WriteJSON(&buf, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "wise-lint:", err)
+			os.Exit(2)
+		}
+		if *jsonPath == "-" {
+			fmt.Print(buf.String())
+		} else if err := resilience.AtomicWriteFile(*jsonPath, buf.Bytes(), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "wise-lint:", err)
 			os.Exit(2)
 		}

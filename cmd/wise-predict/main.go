@@ -8,12 +8,15 @@
 // The shared observability flags (-v, -metrics, -cpuprofile, -memprofile)
 // are documented in OBSERVABILITY.md; -metrics records the inference-side
 // counters (core.selections, kernels.spmv_calls, format builds).
+//
+// Exit codes (RESILIENCE.md): 0 success, 1 I/O failure (unreadable or
+// corrupt model/matrix file, named in the error), 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"wise/internal/core"
 	"wise/internal/features"
@@ -21,34 +24,52 @@ import (
 	"wise/internal/machine"
 	"wise/internal/matrix"
 	"wise/internal/obs"
+	"wise/internal/resilience/faultinject"
+)
+
+// Exit codes, shared by the wise CLIs and documented in RESILIENCE.md.
+const (
+	exitOK    = 0
+	exitIO    = 1
+	exitUsage = 2
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("wise-predict: ")
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		models  = flag.String("models", "models.json", "trained model file from wise-train")
-		run     = flag.Bool("run", false, "run SpMV with the selected method and verify against CSR")
+		runSel  = flag.Bool("run", false, "run SpMV with the selected method and verify against CSR")
 		explain = flag.Bool("explain", false, "print the decision path of the selected method's model")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "wise-predict: usage: wise-predict [-models file] [-run] matrix.mtx")
+		return exitUsage
+	}
+	if err := faultinject.ConfigureFromEnv(os.Getenv); err != nil {
+		fmt.Fprintf(os.Stderr, "wise-predict: %v\n", err)
+		return exitUsage
+	}
 	finishObs := obsFlags.MustStart()
 	defer func() {
 		if err := finishObs(); err != nil {
-			log.Print(err)
+			fmt.Fprintf(os.Stderr, "wise-predict: %v\n", err)
 		}
 	}()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: wise-predict [-models file] [-run] matrix.mtx")
-	}
+
 	w, err := core.Load(*models, machine.Scaled())
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "wise-predict: loading -models %s: %v\n", *models, err)
+		return exitIO
 	}
 	m, err := matrix.ReadFile(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "wise-predict: reading matrix %s: %v\n", flag.Arg(0), err)
+		return exitIO
 	}
 	fmt.Printf("matrix: %d x %d, %d nonzeros\n", m.Rows, m.Cols, m.NNZ())
 
@@ -80,7 +101,7 @@ func main() {
 		}
 	}
 
-	if *run {
+	if *runSel {
 		format := kernels.Build(m, sel.Method, machine.Scaled().RowBlock)
 		x := matrix.Ones(m.Cols)
 		y := make([]float64, m.Rows)
@@ -89,4 +110,5 @@ func main() {
 		m.SpMV(want, x)
 		fmt.Printf("SpMV executed; max |y - y_ref| = %g\n", matrix.MaxAbsDiff(y, want))
 	}
+	return exitOK
 }

@@ -5,6 +5,7 @@
 //	wise-train -out models.json
 //	wise-train -full -folds 10 -out models.json
 //	wise-train -small -v                      # live progress with ETA
+//	wise-train -checkpoint run.ckpt           # resumable labeling
 //	wise-train -metrics m.json                # per-stage spans + counters
 //	wise-train -cpuprofile cpu.pb.gz          # pprof capture
 //
@@ -13,12 +14,20 @@
 // flags (-v, -metrics, -cpuprofile, -memprofile) are shared by every wise
 // CLI and documented in OBSERVABILITY.md; the metrics snapshot contains the
 // stage spans corpus, label, train, cv and save under the wise-train root.
+//
+// Fault tolerance (RESILIENCE.md): -checkpoint makes labeling resumable —
+// SIGINT/SIGTERM flushes completed labels and exits with status 130, and a
+// rerun with the same flags resumes from the checkpoint, producing
+// byte-identical models to an uninterrupted run. Exit codes: 0 success,
+// 1 I/O or pipeline failure, 2 usage error, 130 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"sort"
 	"time"
 
@@ -31,29 +40,53 @@ import (
 	"wise/internal/ml"
 	"wise/internal/obs"
 	"wise/internal/perf"
+	"wise/internal/resilience"
+	"wise/internal/resilience/faultinject"
+)
+
+// Exit codes, shared by the wise CLIs and documented in RESILIENCE.md.
+const (
+	exitOK          = 0
+	exitIO          = 1   // I/O or pipeline failure
+	exitUsage       = 2   // bad flags or arguments (flag package also uses 2)
+	exitInterrupted = 130 // SIGINT/SIGTERM after checkpoint flush (128+SIGINT)
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("wise-train: ")
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		out     = flag.String("out", "models.json", "output model file")
-		full    = flag.Bool("full", false, "use the full paper-shaped corpus (slower)")
-		small   = flag.Bool("small", false, "use a small smoke corpus (fast, for CI)")
-		folds   = flag.Int("folds", 10, "cross-validation folds")
-		seed    = flag.Int64("seed", 1, "corpus and fold seed")
-		depth   = flag.Int("depth", 15, "decision tree max depth D")
-		ccp     = flag.Float64("ccp", 0.005, "minimal cost-complexity pruning alpha")
-		workers = flag.Int("workers", 0, "labeling workers (0 = GOMAXPROCS)")
+		out        = flag.String("out", "models.json", "output model file")
+		full       = flag.Bool("full", false, "use the full paper-shaped corpus (slower)")
+		small      = flag.Bool("small", false, "use a small smoke corpus (fast, for CI)")
+		folds      = flag.Int("folds", 10, "cross-validation folds")
+		seed       = flag.Int64("seed", 1, "corpus and fold seed")
+		depth      = flag.Int("depth", 15, "decision tree max depth D")
+		ccp        = flag.Float64("ccp", 0.005, "minimal cost-complexity pruning alpha")
+		workers    = flag.Int("workers", 0, "labeling workers (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "labeling checkpoint file for resumable runs (see RESILIENCE.md)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wise-train: unexpected argument %q (wise-train takes only flags)\n", flag.Arg(0))
+		return exitUsage
+	}
+	if err := faultinject.ConfigureFromEnv(os.Getenv); err != nil {
+		fmt.Fprintf(os.Stderr, "wise-train: %v\n", err)
+		return exitUsage
+	}
 	finishObs := obsFlags.MustStart()
 	defer func() {
 		if err := finishObs(); err != nil {
-			log.Print(err)
+			fmt.Fprintf(os.Stderr, "wise-train: %v\n", err)
 		}
 	}()
+
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
 
 	corpusCfg := gen.DefaultCorpusConfig()
 	if *full {
@@ -79,25 +112,44 @@ func main() {
 	fmt.Printf("generated %d matrices in %v\n", len(corpus), span.End().Round(time.Millisecond))
 
 	span = root.Child("label")
-	labels := perf.LabelCorpus(perf.LabelConfig{
-		Estimator: costmodel.New(mach),
-		Space:     kernels.ModelSpace(mach),
-		Features:  features.DefaultConfig(),
-		Workers:   *workers,
+	labelRun, err := perf.LabelCorpusRun(ctx, perf.LabelConfig{
+		Estimator:  costmodel.New(mach),
+		Space:      kernels.ModelSpace(mach),
+		Features:   features.DefaultConfig(),
+		Workers:    *workers,
+		Checkpoint: *checkpoint,
 	}, corpus)
-	fmt.Printf("labeled corpus (29 methods x %d matrices) in %v\n", len(labels), span.End().Round(time.Millisecond))
+	span.End()
+	if labelRun.Resumed > 0 {
+		fmt.Printf("resumed %d already-labeled matrices from %s\n", labelRun.Resumed, *checkpoint)
+	}
+	reportQuarantine(labelRun.Quarantined)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wise-train: %v\n", err)
+		if errors.Is(err, perf.ErrInterrupted) {
+			return exitInterrupted
+		}
+		return exitIO
+	}
+	labels := labelRun.Labels
+	fmt.Printf("labeled corpus (29 methods x %d matrices)\n", len(labels))
 
 	span = root.Child("train")
 	w, err := core.Train(labels, treeCfg, features.DefaultConfig(), mach)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "wise-train: %v\n", err)
+		return exitIO
 	}
 	fmt.Printf("trained %d models in %v\n", len(w.Models), span.End().Round(time.Millisecond))
 
 	span = root.Child("cv")
-	res, err := core.Evaluate(labels, treeCfg, *folds, *seed)
+	res, err := core.EvaluateCtx(ctx, labels, treeCfg, *folds, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "wise-train: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			return exitInterrupted
+		}
+		return exitIO
 	}
 	fmt.Printf("evaluated (%d-fold CV) in %v\n", *folds, span.End().Round(time.Millisecond))
 	fmt.Printf("  mean speedup over MKL baseline: WISE %.2fx, oracle %.2fx, IE %.2fx\n",
@@ -107,7 +159,8 @@ func main() {
 
 	span = root.Child("save")
 	if err := w.Save(*out); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "wise-train: saving models to %s: %v\n", *out, err)
+		return exitIO
 	}
 	span.End()
 	fmt.Printf("saved models to %s\n", *out)
@@ -128,5 +181,19 @@ func main() {
 	fmt.Println("top features by mean Gini importance:")
 	for _, i := range order[:5] {
 		fmt.Printf("  %-18s %.4f\n", names[i], mean[i])
+	}
+	return exitOK
+}
+
+// reportQuarantine prints the matrices withheld from the run (panic or
+// deadline during labeling); counts also land in the metrics snapshot as
+// perf.matrices_quarantined.
+func reportQuarantine(qs []perf.QuarantinedMatrix) {
+	if len(qs) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wise-train: %d matrices quarantined during labeling:\n", len(qs))
+	for _, q := range qs {
+		fmt.Fprintf(os.Stderr, "  %-24s class=%-3s %s\n", q.Name, q.Class, q.Err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wise/internal/gen"
@@ -48,8 +49,15 @@ type EvalResult struct {
 // WISE, the oracle, and the inspector-executor, plus preprocessing overheads
 // in baseline-iteration units.
 func Evaluate(labels []perf.MatrixLabels, treeCfg ml.TreeConfig, k int, seed int64) (EvalResult, error) {
+	return EvaluateCtx(context.Background(), labels, treeCfg, k, seed)
+}
+
+// EvaluateCtx is Evaluate with cancellation threaded into the per-method
+// cross-validation, so SIGINT/SIGTERM (resilience.SignalContext) unwinds the
+// evaluation between folds instead of abandoning the process mid-write.
+func EvaluateCtx(ctx context.Context, labels []perf.MatrixLabels, treeCfg ml.TreeConfig, k int, seed int64) (EvalResult, error) {
 	return EvaluateWith(labels, func(d ml.Dataset) ([]int, error) {
-		return ml.CrossValPredict(d, treeCfg, k, seed)
+		return ml.CrossValPredictCtx(ctx, d, treeCfg, k, seed, 0)
 	})
 }
 

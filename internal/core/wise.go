@@ -8,8 +8,8 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
 
 	"wise/internal/features"
 	"wise/internal/kernels"
@@ -18,6 +18,7 @@ import (
 	"wise/internal/ml"
 	"wise/internal/obs"
 	"wise/internal/perf"
+	"wise/internal/resilience"
 )
 
 // Observability instruments (documented in OBSERVABILITY.md).
@@ -211,7 +212,13 @@ type persistedMethod struct {
 	T     float64 `json:"t"`
 }
 
-// Save writes the trained models to path as JSON.
+// modelsArtifactKind tags model files in their resilience envelope.
+const modelsArtifactKind = "wise-models"
+
+// Save atomically writes the trained models to path as JSON inside a
+// checksummed resilience envelope, so a truncated or corrupted file is
+// rejected at load instead of silently mis-parsing. The output is
+// deterministic in the models.
 func (w *WISE) Save(path string) error {
 	p := persisted{MachineName: w.Mach.Name, FeatureK: w.FeatureCfg.K}
 	for _, m := range w.Models {
@@ -229,15 +236,24 @@ func (w *WISE) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	if err := resilience.WriteArtifact(path, modelsArtifactKind, 1, data); err != nil {
+		return fmt.Errorf("core: saving models to %s: %w", path, err)
+	}
+	return nil
 }
 
 // Load reads models saved with Save. The machine must be supplied by the
 // caller (only its name is persisted; cache geometry is code, not data).
+// Enveloped files are checksum-verified; raw JSON files from before the
+// envelope era load through the legacy path.
 func Load(path string, mach machine.Machine) (*WISE, error) {
-	data, err := os.ReadFile(path)
+	env, raw, err := resilience.ReadArtifact(path, modelsArtifactKind)
+	data := env.Payload
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, resilience.ErrNotEnveloped) {
+			return nil, fmt.Errorf("core: loading models: %w", err)
+		}
+		data = raw // legacy pre-envelope models.json: raw JSON
 	}
 	var p persisted
 	if err := json.Unmarshal(data, &p); err != nil {

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"wise/internal/costmodel"
@@ -37,12 +38,27 @@ type Context struct {
 	Seed      int64
 
 	Labels []perf.MatrixLabels // full corpus: science-like first, then random
+
+	// Quarantined lists matrices excluded from Labels because their labeling
+	// attempt panicked or overran its deadline (see perf.LabelCorpusRun);
+	// empty on a healthy run.
+	Quarantined []perf.QuarantinedMatrix
+
+	// Resumed counts matrices restored from the labeling checkpoint rather
+	// than relabeled.
+	Resumed int
 }
 
-// ContextConfig selects the corpus scale and labeling parallelism.
+// ContextConfig selects the corpus scale, labeling parallelism, and
+// fault-tolerance knobs.
 type ContextConfig struct {
 	Corpus  gen.CorpusConfig
 	Workers int
+
+	// Checkpoint enables labeling checkpoint/resume through
+	// perf.LabelCorpusRun: completed labels are flushed to this path and a
+	// rerun resumes from it. Empty disables checkpointing.
+	Checkpoint string
 }
 
 // DefaultContextConfig labels the default scaled corpus.
@@ -84,8 +100,22 @@ func NewContextFromLabels(labels []perf.MatrixLabels) *Context {
 // with "gen" and "label" children so metrics snapshots attribute the setup
 // cost per stage.
 func NewContext(cfg ContextConfig) *Context {
+	c, err := NewContextCtx(context.Background(), cfg)
+	if err != nil {
+		// Impossible without cancellation or a checkpoint (cfg.Checkpoint
+		// I/O is the only other error source, and the caller opted into it).
+		panic("experiments: " + err.Error())
+	}
+	return c
+}
+
+// NewContextCtx is NewContext with cancellation and fault tolerance: ctx
+// cancellation (SIGINT/SIGTERM) interrupts labeling after a checkpoint
+// flush and surfaces perf.ErrInterrupted; quarantined matrices are dropped
+// from Labels and reported on the Context.
+func NewContextCtx(ctx context.Context, cfg ContextConfig) (*Context, error) {
 	mach := machine.Scaled()
-	ctx := &Context{
+	c := &Context{
 		Mach:      mach,
 		Estimator: costmodel.New(mach),
 		Space:     kernels.ModelSpace(mach),
@@ -95,19 +125,26 @@ func NewContext(cfg ContextConfig) *Context {
 		Seed:      1,
 	}
 	span := obs.Begin("corpus")
+	defer span.End()
 	genSpan := span.Child("gen")
 	corpus := gen.Corpus(cfg.Corpus)
 	genSpan.End()
 	labelSpan := span.Child("label")
-	ctx.Labels = perf.LabelCorpus(perf.LabelConfig{
-		Estimator: ctx.Estimator,
-		Space:     ctx.Space,
-		Features:  features.DefaultConfig(),
-		Workers:   cfg.Workers,
+	defer labelSpan.End()
+	run, err := perf.LabelCorpusRun(ctx, perf.LabelConfig{
+		Estimator:  c.Estimator,
+		Space:      c.Space,
+		Features:   features.DefaultConfig(),
+		Workers:    cfg.Workers,
+		Checkpoint: cfg.Checkpoint,
 	}, corpus)
-	labelSpan.End()
-	span.End()
-	return ctx
+	c.Labels = run.Labels
+	c.Quarantined = run.Quarantined
+	c.Resumed = run.Resumed
+	if err != nil {
+		return c, err
+	}
+	return c, nil
 }
 
 // Science returns the science-like (SuiteSparse stand-in) subset.

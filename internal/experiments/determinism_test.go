@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +11,8 @@ import (
 
 	"wise/internal/core"
 	"wise/internal/features"
+	"wise/internal/perf"
+	"wise/internal/resilience/faultinject"
 )
 
 // TestEndToEndDeterminism is the regression gate behind the determinism
@@ -81,5 +85,66 @@ func TestEndToEndDeterminism(t *testing.T) {
 			t.Errorf("method %d: CV confusion matrices differ between runs:\n%v\nvs\n%v",
 				mi, cmA.Counts, cmB.Counts)
 		}
+	}
+}
+
+// TestCheckpointResumeDeterminism extends the end-to-end determinism gate
+// across a fault boundary (RESILIENCE.md): a pipeline run interrupted
+// mid-labeling and resumed from its checkpoint must train byte-identical
+// models to the uninterrupted run above. Checkpoint/resume must be
+// invisible to every downstream artifact.
+func TestCheckpointResumeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	ref := getCtx(t)
+
+	ckpt := filepath.Join(t.TempDir(), "labels.ckpt")
+	cfg := SmokeContextConfig()
+	cfg.Checkpoint = ckpt
+
+	if err := faultinject.Configure("perf.label.interrupt:error:after=3", 1); err != nil {
+		t.Fatal(err)
+	}
+	interrupted, err := NewContextCtx(context.Background(), cfg)
+	faultinject.Disable()
+	if !errors.Is(err, perf.ErrInterrupted) {
+		t.Fatalf("interrupted run error = %v, want perf.ErrInterrupted", err)
+	}
+	if len(interrupted.Labels) >= len(ref.Labels) {
+		t.Fatalf("interrupt was not partial: %d of %d labels", len(interrupted.Labels), len(ref.Labels))
+	}
+
+	resumed, err := NewContextCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if resumed.Resumed == 0 {
+		t.Error("resume run did not report resumed matrices")
+	}
+
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i, c := range []*Context{ref, resumed} {
+		w, err := core.Train(c.Labels, c.TreeCfg, features.DefaultConfig(), c.Mach)
+		if err != nil {
+			t.Fatalf("training: %v", err)
+		}
+		paths[i] = filepath.Join(dir, []string{"ref.json", "resumed.json"}[i])
+		if err := w.Save(paths[i]); err != nil {
+			t.Fatalf("saving: %v", err)
+		}
+	}
+	refBytes, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, gotBytes) {
+		t.Errorf("models after checkpoint-resume are not byte-identical to the uninterrupted run (%d vs %d bytes)",
+			len(gotBytes), len(refBytes))
 	}
 }

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWriteAnalyzer protects the crash-consistency invariant of artifact
+// persistence (RESILIENCE.md): every file the pipeline writes must go
+// through internal/resilience (AtomicWriteFile / CreateAtomic /
+// WriteArtifact), so a crash or kill mid-write can never leave a truncated
+// model, label, or results file behind. Direct os.WriteFile and os.Create
+// calls are flagged everywhere outside internal/resilience, which is the
+// one place allowed to touch the filesystem primitives. Genuinely
+// streaming destinations that cannot be staged-and-renamed (live pprof
+// profiles) carry a //lint:ignore atomicwrite with a rationale.
+var AtomicWriteAnalyzer = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "flags direct os.WriteFile/os.Create outside internal/resilience; artifacts must be written atomically",
+	Run:  runAtomicWrite,
+}
+
+// nonAtomicWriters are the os entry points that produce a destination file
+// in place. os.CreateTemp is deliberately absent: a temp file is the first
+// half of the atomic idiom, not a hazard.
+var nonAtomicWriters = map[string]string{
+	"WriteFile": "resilience.AtomicWriteFile",
+	"Create":    "resilience.CreateAtomic",
+}
+
+func runAtomicWrite(pass *Pass) {
+	if strings.Contains(pass.Pkg.Path, "internal/resilience") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := resolvedFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			replacement, hazard := nonAtomicWriters[fn.Name()]
+			if !hazard {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"os.%s writes the destination in place; a crash mid-write leaves a corrupt file — use %s (see RESILIENCE.md)",
+				fn.Name(), replacement)
+			return true
+		})
+	}
+}

@@ -33,6 +33,7 @@ func All() []*Analyzer {
 		SpanHygieneAnalyzer,
 		GoroutineSafetyAnalyzer,
 		ErrDropAnalyzer,
+		AtomicWriteAnalyzer,
 	}
 }
 

@@ -1,0 +1,16 @@
+// Fixture: true positives for the atomicwrite analyzer.
+package lintfixture
+
+import "os"
+
+func badWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicwrite
+}
+
+func badCreate(path string) error {
+	f, err := os.Create(path) // want atomicwrite
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,57 @@
+// Fixture: code the atomicwrite analyzer must accept.
+package lintfixture
+
+import (
+	"io"
+	"os"
+
+	"wise/internal/resilience"
+)
+
+// goodAtomic stages, fsyncs, and renames through the resilience layer.
+func goodAtomic(path string, data []byte) error {
+	return resilience.AtomicWriteFile(path, data, 0o644)
+}
+
+// goodStreaming commits an incrementally written artifact atomically.
+func goodStreaming(path string, src io.Reader) error {
+	f, err := resilience.CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	if _, err := io.Copy(f, src); err != nil {
+		return err
+	}
+	return f.Commit()
+}
+
+// goodRead: reading is out of scope.
+func goodRead(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// goodTemp: a temp file is the first half of the atomic idiom itself.
+func goodTemp(dir string) error {
+	f, err := os.CreateTemp(dir, "stage-*")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// suppressedCreate: live streaming destinations that cannot be
+// staged-and-renamed opt out with a rationale.
+func suppressedCreate(path string) error {
+	//lint:ignore atomicwrite the profiler streams into this handle for the process lifetime
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"wise/internal/resilience"
 )
 
 // MatrixMarket I/O. The coordinate real/integer/pattern general/symmetric
@@ -176,17 +178,18 @@ func ReadMatrixMarketLimited(r io.Reader, lim ReadLimits) (*CSR, error) {
 	return coo.ToCSR(), nil
 }
 
-// WriteFile writes the matrix to path in MatrixMarket format.
+// WriteFile writes the matrix to path in MatrixMarket format, atomically:
+// readers never observe a partially written matrix.
 func WriteFile(path string, m *CSR) error {
-	f, err := os.Create(path)
+	f, err := resilience.CreateAtomic(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Abort()
 	if err := WriteMatrixMarket(f, m); err != nil {
 		return err
 	}
-	return f.Close()
+	return f.Commit()
 }
 
 // ReadFile reads a MatrixMarket file from path.

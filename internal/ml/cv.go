@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -53,7 +54,9 @@ func trainComplement(n int, folds [][]int, fi int) []int {
 // results bit-for-bit identical to the serial loop as long as body writes
 // only fold-local state. On error, the error of the lowest-indexed failing
 // fold is returned — the same one the serial loop would have surfaced first.
-func forEachFold(folds [][]int, n, workers int, body func(fi int, trainIdx []int) error) error {
+// Cancelling ctx stops scheduling new folds; in-flight folds finish and the
+// context error is returned (graceful-shutdown path for the CLIs).
+func forEachFold(ctx context.Context, folds [][]int, n, workers int, body func(fi int, trainIdx []int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -63,6 +66,9 @@ func forEachFold(folds [][]int, n, workers int, body func(fi int, trainIdx []int
 	errs := make([]error, len(folds))
 	if workers <= 1 {
 		for fi := range folds {
+			if ctx.Err() != nil {
+				break
+			}
 			if errs[fi] = body(fi, trainComplement(n, folds, fi)); errs[fi] != nil {
 				break
 			}
@@ -75,6 +81,9 @@ func forEachFold(folds [][]int, n, workers int, body func(fi int, trainIdx []int
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					fi := int(atomic.AddInt64(&next, 1)) - 1
 					if fi >= len(folds) {
 						return
@@ -84,6 +93,9 @@ func forEachFold(folds [][]int, n, workers int, body func(fi int, trainIdx []int
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("ml: cross-validation interrupted: %w", err)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -109,6 +121,13 @@ func CrossValidate(d Dataset, cfg TreeConfig, k int, seed int64) (*ConfusionMatr
 // count yields the identical confusion matrix — enforced by a regression
 // test.
 func CrossValidateWorkers(d Dataset, cfg TreeConfig, k int, seed int64, workers int) (*ConfusionMatrix, error) {
+	return CrossValidateCtx(context.Background(), d, cfg, k, seed, workers)
+}
+
+// CrossValidateCtx is CrossValidateWorkers with cancellation: when ctx is
+// cancelled mid-validation, scheduling stops and the context error is
+// returned (no partial confusion matrix).
+func CrossValidateCtx(ctx context.Context, d Dataset, cfg TreeConfig, k int, seed int64, workers int) (*ConfusionMatrix, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,7 +137,7 @@ func CrossValidateWorkers(d Dataset, cfg TreeConfig, k int, seed int64, workers 
 	}
 	folds := KFoldSplit(n, k, seed)
 	perFold := make([]*ConfusionMatrix, len(folds))
-	err := forEachFold(folds, n, workers, func(fi int, trainIdx []int) error {
+	err := forEachFold(ctx, folds, n, workers, func(fi int, trainIdx []int) error {
 		tree, err := Fit(d.Subset(trainIdx), cfg)
 		if err != nil {
 			return err
@@ -153,6 +172,13 @@ func CrossValPredict(d Dataset, cfg TreeConfig, k int, seed int64) ([]int, error
 // worker count (0 = GOMAXPROCS, 1 = serial). Each fold writes a disjoint
 // set of prediction slots, so every worker count yields identical output.
 func CrossValPredictWorkers(d Dataset, cfg TreeConfig, k int, seed int64, workers int) ([]int, error) {
+	return CrossValPredictCtx(context.Background(), d, cfg, k, seed, workers)
+}
+
+// CrossValPredictCtx is CrossValPredictWorkers with cancellation: when ctx
+// is cancelled mid-run, scheduling stops and the context error is returned
+// (no partial prediction vector).
+func CrossValPredictCtx(ctx context.Context, d Dataset, cfg TreeConfig, k int, seed int64, workers int) ([]int, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,7 +188,7 @@ func CrossValPredictWorkers(d Dataset, cfg TreeConfig, k int, seed int64, worker
 	}
 	preds := make([]int, n)
 	folds := KFoldSplit(n, k, seed)
-	err := forEachFold(folds, n, workers, func(fi int, trainIdx []int) error {
+	err := forEachFold(ctx, folds, n, workers, func(fi int, trainIdx []int) error {
 		tree, err := Fit(d.Subset(trainIdx), cfg)
 		if err != nil {
 			return err

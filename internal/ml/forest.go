@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -94,7 +95,7 @@ func CrossValPredictForest(d Dataset, cfg ForestConfig, k int, seed int64) ([]in
 	}
 	preds := make([]int, n)
 	folds := KFoldSplit(n, k, seed)
-	err := forEachFold(folds, n, 0, func(fi int, trainIdx []int) error {
+	err := forEachFold(context.Background(), folds, n, 0, func(fi int, trainIdx []int) error {
 		forest, err := FitForest(d.Subset(trainIdx), cfg, seed+int64(fi))
 		if err != nil {
 			return err

@@ -5,12 +5,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"wise/internal/resilience"
 )
 
 // StartCPUProfile begins pprof CPU profiling into path and returns a stop
 // function that ends profiling and closes the file. Only one CPU profile
 // can run per process (a pprof limitation).
 func StartCPUProfile(path string) (stop func() error, err error) {
+	//lint:ignore atomicwrite pprof streams into this handle for the whole run; there is no complete artifact to stage-and-rename until stop
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
@@ -27,15 +30,19 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 }
 
 // WriteHeapProfile runs a GC (so the profile reflects live objects, the
-// pprof-recommended protocol) and writes the heap profile to path.
+// pprof-recommended protocol) and writes the heap profile to path,
+// atomically: a crash mid-write never leaves a truncated profile.
 func WriteHeapProfile(path string) error {
-	f, err := os.Create(path)
+	f, err := resilience.CreateAtomic(path)
 	if err != nil {
 		return fmt.Errorf("obs: heap profile: %w", err)
 	}
-	defer f.Close()
+	defer f.Abort()
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	if err := f.Commit(); err != nil {
 		return fmt.Errorf("obs: heap profile: %w", err)
 	}
 	return nil

@@ -2,9 +2,10 @@ package obs
 
 import (
 	"encoding/json"
-	"os"
 	"runtime"
 	"time"
+
+	"wise/internal/resilience"
 )
 
 // Snapshot is the JSON form of everything a registry has recorded. The
@@ -168,13 +169,14 @@ func (s *Snapshot) MarshalIndent() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
-// WriteMetricsFile snapshots the registry and writes it to path as JSON.
+// WriteMetricsFile snapshots the registry and atomically writes it to path
+// as JSON, so a crash mid-write never leaves a truncated snapshot behind.
 func (r *Registry) WriteMetricsFile(path string) error {
 	data, err := r.Snapshot().MarshalIndent()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return resilience.AtomicWriteFile(path, append(data, '\n'), 0o644)
 }
 
 // WriteMetricsFile writes the default registry's snapshot to path.

@@ -1,0 +1,281 @@
+package perf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wise/internal/gen"
+	"wise/internal/obs"
+	"wise/internal/resilience/faultinject"
+)
+
+// Fault-tolerant corpus labeling: labeling dominates harness cost (the
+// paper-shaped corpus is ~1,500 matrices with 29 cache-simulated methods
+// each), so a single panic, deadline overrun, or SIGTERM must not lose the
+// run. LabelCorpusRun adds three layers on top of LabelMatrix:
+//
+//   - per-matrix isolation: each matrix is labeled in its own goroutine with
+//     a recover barrier and an optional deadline; a panicking or overdue
+//     matrix is quarantined (name, class, error) and the run continues;
+//   - checkpoint/resume: completed labels are periodically flushed to an
+//     atomic sidecar file that is itself a valid labels file; a later run
+//     with the same checkpoint path skips the finished matrices and the
+//     final output is byte-identical to an uninterrupted run;
+//   - cancellation: ctx cancellation (SIGINT/SIGTERM via
+//     resilience.SignalContext, or an injected fault at site
+//     "perf.label.interrupt") flushes the checkpoint and returns
+//     ErrInterrupted instead of dying mid-write.
+
+var (
+	matricesQuarantined = obs.NewCounter("perf.matrices_quarantined")
+	matricesResumed     = obs.NewCounter("perf.matrices_resumed")
+	checkpointFlushes   = obs.NewCounter("perf.checkpoint_flushes")
+)
+
+// ErrInterrupted reports that labeling stopped early on context cancellation
+// (or an injected interrupt); completed work is in the checkpoint file.
+var ErrInterrupted = errors.New("perf: labeling interrupted")
+
+// DefaultCheckpointEvery is the checkpoint flush cadence in completed
+// matrices when LabelConfig.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 16
+
+// QuarantinedMatrix records one matrix withheld from the labeled corpus
+// because its labeling attempt panicked, overran the deadline, or failed.
+type QuarantinedMatrix struct {
+	Name  string
+	Class gen.Class
+	Err   string
+}
+
+// LabelRun is the full result of a fault-tolerant labeling run.
+type LabelRun struct {
+	Labels      []MatrixLabels      // successfully labeled, in corpus order
+	Quarantined []QuarantinedMatrix // failed matrices, in corpus order
+	Resumed     int                 // matrices restored from the checkpoint
+}
+
+// LabelCorpusRun labels every matrix in parallel with per-matrix panic
+// isolation, optional deadlines, and checkpoint/resume; see the package
+// comments above. On ctx cancellation it flushes the checkpoint (when
+// configured) and returns the partial run with ErrInterrupted. The only
+// other errors are checkpoint I/O failures.
+func LabelCorpusRun(ctx context.Context, cfg LabelConfig, corpus []gen.Labeled) (LabelRun, error) {
+	var run LabelRun
+	out := make([]MatrixLabels, len(corpus))
+	done := make([]bool, len(corpus))
+
+	if cfg.Checkpoint != "" {
+		prior, err := LoadLabels(cfg.Checkpoint)
+		switch {
+		case err == nil:
+			byName := make(map[string]int, len(corpus))
+			for i, lm := range corpus {
+				byName[lm.Name] = i
+			}
+			for _, l := range prior {
+				if i, ok := byName[l.Name]; ok && !done[i] {
+					out[i] = l
+					done[i] = true
+					run.Resumed++
+				}
+			}
+			matricesResumed.Add(int64(run.Resumed))
+		case errors.Is(err, os.ErrNotExist):
+			// First run: the checkpoint appears at the first flush.
+		default:
+			return run, fmt.Errorf("perf: resuming from checkpoint: %w", err)
+		}
+	}
+
+	var pending []int
+	for i := range corpus {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	corpusSize.Set(float64(len(corpus)))
+	labelWorkers.Set(float64(workers))
+	progress := obs.StartProgress("label", len(corpus))
+	defer progress.Finish()
+	progress.Add(run.Resumed)
+
+	flush := func() error {
+		if cfg.Checkpoint == "" {
+			return nil
+		}
+		var completed []MatrixLabels
+		for i := range corpus {
+			if done[i] {
+				completed = append(completed, out[i])
+			}
+		}
+		if err := SaveLabels(cfg.Checkpoint, completed); err != nil {
+			return fmt.Errorf("perf: writing checkpoint: %w", err)
+		}
+		checkpointFlushes.Inc()
+		return nil
+	}
+
+	type labelResult struct {
+		i      int
+		labels MatrixLabels
+		err    error
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	next := 0
+	results := make(chan labelResult)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ictx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				k := next
+				next++
+				mu.Unlock()
+				if k >= len(pending) {
+					return
+				}
+				i := pending[k]
+				l, err := labelOne(ictx, cfg, corpus[i])
+				select {
+				case results <- labelResult{i: i, labels: l, err: err}:
+				case <-ictx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	sinceFlush := 0
+	var quarantined []labelResult
+	interrupted := false
+	var flushErr error
+	for r := range results {
+		if r.err != nil {
+			if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+				continue // attempt abandoned by cancellation, not a matrix failure
+			}
+			quarantined = append(quarantined, r)
+			matricesQuarantined.Inc()
+			progress.Add(1)
+			continue
+		}
+		out[r.i] = r.labels
+		done[r.i] = true
+		progress.Add(1)
+		sinceFlush++
+		if cfg.Checkpoint != "" && sinceFlush >= every && flushErr == nil {
+			if flushErr = flush(); flushErr == nil {
+				sinceFlush = 0
+			}
+		}
+		// Test hook: an injected fault here cancels labeling through the
+		// same path SIGINT/SIGTERM uses, for kill-and-resume tests.
+		if err := faultinject.Hit("perf.label.interrupt"); err != nil {
+			interrupted = true
+			cancel()
+		}
+	}
+
+	sort.Slice(quarantined, func(a, b int) bool { return quarantined[a].i < quarantined[b].i })
+	for _, r := range quarantined {
+		run.Quarantined = append(run.Quarantined, QuarantinedMatrix{
+			Name:  corpus[r.i].Name,
+			Class: corpus[r.i].Class,
+			Err:   r.err.Error(),
+		})
+	}
+	for i := range corpus {
+		if done[i] {
+			run.Labels = append(run.Labels, out[i])
+		}
+	}
+
+	if interrupted || ctx.Err() != nil {
+		if err := flush(); err != nil {
+			return run, fmt.Errorf("%w; checkpoint flush also failed: %v", ErrInterrupted, err)
+		}
+		if cfg.Checkpoint != "" {
+			return run, fmt.Errorf("%w: %d/%d matrices labeled; checkpoint saved to %s",
+				ErrInterrupted, len(run.Labels), len(corpus), cfg.Checkpoint)
+		}
+		return run, fmt.Errorf("%w: %d/%d matrices labeled", ErrInterrupted, len(run.Labels), len(corpus))
+	}
+	if flushErr != nil {
+		return run, flushErr
+	}
+	return run, flush()
+}
+
+// labelOne labels a single matrix in its own goroutine so a panic or
+// deadline overrun is contained to that matrix. The attempt gets a private
+// Estimator copy (the cache simulator is stateful), so an abandoned overdue
+// attempt cannot race with later work.
+func labelOne(ctx context.Context, cfg LabelConfig, lm gen.Labeled) (MatrixLabels, error) {
+	type attempt struct {
+		labels MatrixLabels
+		err    error
+	}
+	ch := make(chan attempt, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- attempt{err: fmt.Errorf("perf: labeling %s panicked: %v", lm.Name, r)}
+			}
+		}()
+		if err := faultinject.Hit("perf.label.matrix"); err != nil {
+			ch <- attempt{err: fmt.Errorf("perf: labeling %s: %w", lm.Name, err)}
+			return
+		}
+		ecopy := *cfg.Estimator
+		local := cfg
+		local.Estimator = &ecopy
+		ch <- attempt{labels: LabelMatrix(local, lm)}
+	}()
+	var deadline <-chan time.Time
+	if cfg.MatrixDeadline > 0 {
+		t := time.NewTimer(cfg.MatrixDeadline)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case a := <-ch:
+		return a.labels, a.err
+	case <-deadline:
+		return MatrixLabels{}, fmt.Errorf("perf: labeling %s exceeded the per-matrix deadline %v", lm.Name, cfg.MatrixDeadline)
+	case <-ctx.Done():
+		return MatrixLabels{}, ctx.Err()
+	}
+}

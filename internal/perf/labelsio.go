@@ -1,19 +1,29 @@
 package perf
 
 import (
+	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io"
 
 	"wise/internal/features"
 	"wise/internal/gen"
 	"wise/internal/kernels"
+	"wise/internal/resilience"
 )
 
 // Label persistence: corpus labeling is the dominant cost of the experiment
 // harness (cache-simulating 29 methods per matrix), so wise-bench can save
-// the labels once and reload them for iterating on figures and models.
+// the labels once and reload them for iterating on figures and models. The
+// same format backs LabelCorpusRun checkpoints. Files are written atomically
+// inside a checksummed resilience envelope (kind "wise-labels") wrapping the
+// gzipped JSON, so truncation and corruption fail loudly at load; files
+// saved before the envelope era (raw gzip) still load.
+
+// labelsArtifactKind tags label files and checkpoints in their envelope.
+const labelsArtifactKind = "wise-labels"
 
 type persistedLabels struct {
 	Version int              `json:"version"`
@@ -60,8 +70,22 @@ func (p persistedLabelMethod) method() kernels.Method {
 	return kernels.Method{Kind: kernels.Kind(p.Kind), Sched: kernels.Sched(p.Sched), C: p.C, Sigma: p.Sigma, T: p.T}
 }
 
-// SaveLabels writes a labeled corpus to path as gzipped JSON.
+// SaveLabels atomically writes a labeled corpus to path as an enveloped,
+// checksummed, gzipped JSON artifact. The output is deterministic in the
+// labels, so identical corpora produce byte-identical files.
 func SaveLabels(path string, labels []MatrixLabels) error {
+	payload, err := encodeLabels(labels)
+	if err != nil {
+		return fmt.Errorf("perf: encoding labels for %s: %w", path, err)
+	}
+	if err := resilience.WriteArtifact(path, labelsArtifactKind, 1, payload); err != nil {
+		return fmt.Errorf("perf: saving labels to %s: %w", path, err)
+	}
+	return nil
+}
+
+// encodeLabels renders the gzipped-JSON payload of a labels artifact.
+func encodeLabels(labels []MatrixLabels) ([]byte, error) {
 	out := persistedLabels{Version: 1}
 	for _, l := range labels {
 		pl := persistedLabel{
@@ -87,38 +111,52 @@ func SaveLabels(path string, labels []MatrixLabels) error {
 		}
 		out.Labels = append(out.Labels, pl)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	gz := gzip.NewWriter(f)
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
 	if err := json.NewEncoder(gz).Encode(out); err != nil {
-		return err
-	}
-	if err := gz.Close(); err != nil {
-		return err
-	}
-	return f.Close()
-}
-
-// LoadLabels reads a labeled corpus saved with SaveLabels.
-func LoadLabels(path string) ([]MatrixLabels, error) {
-	f, err := os.Open(path)
-	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadLabels reads a labeled corpus saved with SaveLabels. Enveloped files
+// are checksum-verified; raw gzip files from before the envelope era load
+// through the legacy path. Corrupt or truncated files of either era return
+// descriptive errors, never panics or JSON garbage.
+func LoadLabels(path string) ([]MatrixLabels, error) {
+	env, raw, err := resilience.ReadArtifact(path, labelsArtifactKind)
+	payload := env.Payload
 	if err != nil {
-		return nil, fmt.Errorf("perf: %s is not a gzipped label file: %w", path, err)
+		if !errors.Is(err, resilience.ErrNotEnveloped) {
+			return nil, fmt.Errorf("perf: loading labels: %w", err)
+		}
+		// Pre-envelope files are raw gzip streams; anything else is junk.
+		if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+			return nil, fmt.Errorf("perf: %s is neither a wise-labels artifact nor a legacy gzipped label file", path)
+		}
+		payload = raw
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("perf: %s: opening gzipped label payload: %w", path, err)
 	}
 	var in persistedLabels
 	if err := json.NewDecoder(gz).Decode(&in); err != nil {
 		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
 	}
+	// Drain to EOF so the gzip checksum is verified: a truncated stream
+	// whose JSON value happened to decode must still fail loudly.
+	if _, err := io.Copy(io.Discard, gz); err != nil {
+		return nil, fmt.Errorf("perf: %s: gzipped label payload is corrupt or truncated: %w", path, err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, fmt.Errorf("perf: %s: gzipped label payload is corrupt or truncated: %w", path, err)
+	}
 	if in.Version != 1 {
-		return nil, fmt.Errorf("perf: unsupported label file version %d", in.Version)
+		return nil, fmt.Errorf("perf: %s: unsupported label file version %d", path, in.Version)
 	}
 	var out []MatrixLabels
 	for _, pl := range in.Labels {

@@ -1,0 +1,115 @@
+package perf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gzipBytes compresses b in memory.
+func gzipBytes(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// LoadLabels must return a descriptive error — never panic, never hand back
+// JSON garbage — for every corruption mode: truncated gzip, bad JSON, wrong
+// payload version, and envelope checksum mismatch.
+func TestLoadLabelsCorruptedInputs(t *testing.T) {
+	// A small valid enveloped labels file to mutilate.
+	corpus := checkpointCorpus(t)
+	labels := LabelCorpus(smallLabelConfig(), corpus[:2])
+	dir := t.TempDir()
+	valid := filepath.Join(dir, "valid.labels")
+	if err := SaveLabels(valid, labels); err != nil {
+		t.Fatal(err)
+	}
+	validBytes, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacyGzip := gzipBytes(t, mustJSON(t, persistedLabels{Version: 1}))
+	wrongVersion := gzipBytes(t, mustJSON(t, persistedLabels{Version: 99}))
+	badJSON := gzipBytes(t, []byte("this is not json"))
+
+	checksumFlipped := append([]byte(nil), validBytes...)
+	checksumFlipped[len(checksumFlipped)-1] ^= 0xff
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantAny []string // error must contain at least one of these
+	}{
+		{"empty file", nil, []string{"neither a wise-labels artifact nor a legacy gzipped label file"}},
+		{"plain text", []byte("not gzip, not an envelope"), []string{"neither a wise-labels artifact"}},
+		{"truncated legacy gzip", legacyGzip[:len(legacyGzip)-6], []string{"corrupt or truncated", "parsing"}},
+		{"truncated gzip header", legacyGzip[:3], []string{"opening gzipped label payload"}},
+		{"bad JSON inside gzip", badJSON, []string{"parsing"}},
+		{"wrong payload version", wrongVersion, []string{"unsupported label file version 99"}},
+		{"envelope checksum mismatch", checksumFlipped, []string{"checksum mismatch"}},
+		{"envelope truncated", validBytes[:len(validBytes)-10], []string{"truncated"}},
+		{"wrong envelope kind", []byte("#wise-artifact v1 kind=wise-models payload-version=1 sha256=ab bytes=0\n"), []string{"kind"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "-"))
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadLabels(path)
+			if err == nil {
+				t.Fatal("corrupted file loaded without error")
+			}
+			matched := false
+			for _, want := range tc.wantAny {
+				matched = matched || strings.Contains(err.Error(), want)
+			}
+			if !matched {
+				t.Fatalf("err = %v, want one of %q", err, tc.wantAny)
+			}
+		})
+	}
+}
+
+// Legacy (pre-envelope) raw-gzip label files still load.
+func TestLoadLabelsLegacyGzip(t *testing.T) {
+	corpus := checkpointCorpus(t)
+	labels := LabelCorpus(smallLabelConfig(), corpus[:2])
+	payload, err := encodeLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.json.gz")
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLabels(path)
+	if err != nil {
+		t.Fatalf("legacy gzip file rejected: %v", err)
+	}
+	if len(back) != 2 || back[0].Name != labels[0].Name {
+		t.Fatalf("legacy load mismatch: %d labels", len(back))
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

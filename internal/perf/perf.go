@@ -5,8 +5,7 @@
 package perf
 
 import (
-	"runtime"
-	"sync"
+	"context"
 	"time"
 
 	"wise/internal/costmodel"
@@ -112,6 +111,11 @@ type LabelConfig struct {
 	Space     []kernels.Method
 	Features  features.Config
 	Workers   int // parallel labeling workers; 0 = GOMAXPROCS
+
+	// Fault-tolerance knobs, consumed by LabelCorpusRun (see checkpoint.go).
+	Checkpoint      string        // sidecar labels file for checkpoint/resume; "" disables
+	CheckpointEvery int           // flush cadence in completed matrices; 0 = DefaultCheckpointEvery
+	MatrixDeadline  time.Duration // per-matrix labeling deadline; 0 = none
 }
 
 // LabelMatrix computes the full label bundle for one matrix.
@@ -188,52 +192,14 @@ func ExtendLabels(cfg LabelConfig, corpus []gen.Labeled, labels []MatrixLabels, 
 	return out
 }
 
-// LabelCorpus labels every matrix, in parallel across matrices. Each worker
-// gets its own Estimator copy (the cache simulator is stateful). In verbose
-// mode (obs.SetVerbose) it reports live progress with ETA.
+// LabelCorpus labels every matrix, in parallel across matrices, with
+// per-matrix panic isolation (see LabelCorpusRun). Each attempt gets its own
+// Estimator copy (the cache simulator is stateful). In verbose mode
+// (obs.SetVerbose) it reports live progress with ETA. Quarantined matrices
+// are silently omitted; callers that need the quarantine report, deadlines,
+// or checkpoint/resume use LabelCorpusRun directly.
 func LabelCorpus(cfg LabelConfig, corpus []gen.Labeled) []MatrixLabels {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(corpus) {
-		workers = len(corpus)
-	}
-	corpusSize.Set(float64(len(corpus)))
-	labelWorkers.Set(float64(workers))
-	progress := obs.StartProgress("label", len(corpus))
-	defer progress.Finish()
-	out := make([]MatrixLabels, len(corpus))
-	if workers <= 1 {
-		for i, lm := range corpus {
-			out[i] = LabelMatrix(cfg, lm)
-			progress.Add(1)
-		}
-		return out
-	}
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ecopy := *cfg.Estimator
-			local := cfg
-			local.Estimator = &ecopy
-			for {
-				mu.Lock()
-				i := int(next)
-				next++
-				mu.Unlock()
-				if i >= len(corpus) {
-					return
-				}
-				out[i] = LabelMatrix(local, corpus[i])
-				progress.Add(1)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	cfg.Checkpoint = ""
+	run, _ := LabelCorpusRun(context.Background(), cfg, corpus)
+	return run.Labels
 }

@@ -1,11 +1,15 @@
 package perf
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sort"
 	"time"
 
 	"wise/internal/kernels"
 	"wise/internal/matrix"
+	"wise/internal/resilience"
 )
 
 // Wall-clock measurement: the paper's original protocol (time real kernels
@@ -21,47 +25,94 @@ type WallClockConfig struct {
 	WarmupRuns int           // untimed executions before measurement
 	MinRuns    int           // at least this many timed executions
 	MinTime    time.Duration // and at least this much accumulated time
+	MaxTime    time.Duration // hard wall-clock budget per format; 0 = DefaultMeasureBudget
 	RowBlock   int           // CSR scheduling granularity
+
+	// NoiseFactor bounds an acceptable median/best spread for one
+	// measurement pass; a noisier pass (scheduler preemption, thermal
+	// throttling) is retried with bounded backoff. 0 disables the check.
+	NoiseFactor float64
 }
+
+// DefaultMeasureBudget caps one MeasureFormat call when MaxTime is unset:
+// a deadline, unlike the old fixed run-count breakout, bounds the cost of
+// pathologically fast kernels (sub-microsecond iterations could previously
+// spin through 10k timer reads) and slow ones alike.
+const DefaultMeasureBudget = 250 * time.Millisecond
 
 // DefaultWallClockConfig returns a measurement setup balancing cost and
 // stability.
 func DefaultWallClockConfig() WallClockConfig {
 	return WallClockConfig{
-		Workers:    0,
-		WarmupRuns: 1,
-		MinRuns:    3,
-		MinTime:    2 * time.Millisecond,
-		RowBlock:   64,
+		Workers:     0,
+		WarmupRuns:  1,
+		MinRuns:     3,
+		MinTime:     2 * time.Millisecond,
+		MaxTime:     DefaultMeasureBudget,
+		RowBlock:    64,
+		NoiseFactor: 5,
 	}
 }
 
 // MeasureFormat times y = A*x on a built format and returns the best
 // (minimum) per-iteration wall time observed — minimum, not mean, because
-// SpMV noise is one-sided (interference only slows it down).
+// SpMV noise is one-sided (interference only slows it down). A pass whose
+// median is more than NoiseFactor times its best is judged hopelessly noisy
+// and retried (bounded, with backoff); the last pass wins regardless so a
+// noisy host still produces a measurement.
 func MeasureFormat(f kernels.Format, rows, cols int, cfg WallClockConfig) time.Duration {
 	x := matrix.Ones(cols)
 	y := make([]float64, rows)
 	for i := 0; i < cfg.WarmupRuns; i++ {
 		f.SpMVParallel(y, x, cfg.Workers)
 	}
-	best := time.Duration(1<<63 - 1)
+	var best time.Duration
+	retry := resilience.DefaultRetry()
+	errNoisy := errors.New("noisy pass")
+	//lint:ignore errdrop the last pass's measurement is used even when every retry was noisy
+	resilience.Retry(context.Background(), retry, func() error {
+		var median time.Duration
+		best, median = measurePass(f, y, x, cfg)
+		if cfg.NoiseFactor > 0 && median > time.Duration(cfg.NoiseFactor*float64(best)) {
+			return errNoisy
+		}
+		return nil
+	})
+	return best
+}
+
+// measurePass runs one bounded measurement loop and returns the best and
+// median per-iteration times. The loop runs until MinRuns and MinTime are
+// both satisfied or the MaxTime budget is spent, and always completes at
+// least one timed run. Zero-duration samples (timer granularity on very
+// fast kernels) are clamped to 1ns so accumulated time always advances and
+// the loop cannot spin.
+func measurePass(f kernels.Format, y, x []float64, cfg WallClockConfig) (best, median time.Duration) {
+	budget := cfg.MaxTime
+	if budget <= 0 {
+		budget = DefaultMeasureBudget
+	}
+	var samples []time.Duration
 	var accumulated time.Duration
-	runs := 0
-	for runs < cfg.MinRuns || accumulated < cfg.MinTime {
+	for {
 		t0 := time.Now()
 		f.SpMVParallel(y, x, cfg.Workers)
 		d := time.Since(t0)
-		if d < best {
-			best = d
+		if d <= 0 {
+			d = time.Nanosecond
 		}
+		samples = append(samples, d)
 		accumulated += d
-		runs++
-		if runs > 10_000 {
+		if len(samples) >= cfg.MinRuns && accumulated >= cfg.MinTime {
+			break
+		}
+		if accumulated >= budget {
 			break
 		}
 	}
-	return best
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[0], sorted[len(sorted)/2]
 }
 
 // MeasureMethods times every method of the space on the matrix (building

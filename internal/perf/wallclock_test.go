@@ -53,6 +53,48 @@ func TestMeasureBestCSR(t *testing.T) {
 	}
 }
 
+// noopFormat is an instant "kernel": the degenerate fast case that used to
+// spin the measurement loop through its fixed 10k-run breakout.
+type noopFormat struct{ calls int }
+
+func (n *noopFormat) SpMV(y, x []float64)                      { n.calls++ }
+func (n *noopFormat) SpMVParallel(y, x []float64, workers int) { n.calls++ }
+
+// A sub-timer-granularity kernel must terminate quickly under the MaxTime
+// budget instead of chasing MinTime run by run, and must still return a
+// positive duration (zero samples are clamped to 1ns).
+func TestMeasureFormatBudgetBoundsFastKernels(t *testing.T) {
+	cfg := fastWallClock()
+	cfg.MinRuns = 1
+	cfg.MinTime = time.Hour // unreachable: only the budget can stop the loop
+	cfg.MaxTime = 5 * time.Millisecond
+	f := &noopFormat{}
+	start := time.Now()
+	d := MeasureFormat(f, 1, 1, cfg)
+	if d <= 0 {
+		t.Errorf("measured %v, want positive (zero-duration clamp)", d)
+	}
+	// The budget counts accumulated (clamped) sample time, so wall time
+	// stays within a small multiple of it even with per-run overhead.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("measurement ran %v under a %v budget", elapsed, cfg.MaxTime)
+	}
+	if f.calls == 0 {
+		t.Error("kernel never ran")
+	}
+}
+
+func TestMeasureFormatAlwaysRunsOnce(t *testing.T) {
+	cfg := WallClockConfig{Workers: 1, MinRuns: 0, MinTime: 0, MaxTime: time.Nanosecond}
+	f := &noopFormat{}
+	if d := MeasureFormat(f, 1, 1, cfg); d <= 0 {
+		t.Errorf("measured %v", d)
+	}
+	if f.calls == 0 {
+		t.Error("kernel never ran despite an exhausted budget")
+	}
+}
+
 func TestMeasurementScalesWithWork(t *testing.T) {
 	// 16x more nonzeros should take clearly longer. Generous factor to
 	// tolerate noisy CI machines.

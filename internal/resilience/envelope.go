@@ -1,0 +1,123 @@
+package resilience
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Artifact envelopes give every on-disk artifact (models, labels,
+// checkpoints) a self-describing header with a payload checksum, so a
+// truncated or bit-flipped file fails at load with a precise error instead
+// of JSON garbage or a gzip panic. The format is one ASCII header line
+// followed by the raw payload bytes:
+//
+//	#wise-artifact v1 kind=<kind> payload-version=<n> sha256=<hex> bytes=<n>\n
+//	<payload>
+//
+// The header is deterministic in the payload, so enveloping preserves the
+// pipeline's byte-identical reproducibility guarantees.
+
+const envelopeMagic = "#wise-artifact v1 "
+
+// ErrNotEnveloped reports that a file does not carry an artifact envelope.
+// Loaders use it to fall back to legacy (pre-envelope) formats.
+var ErrNotEnveloped = errors.New("resilience: not a wise artifact envelope")
+
+// Envelope describes a sealed artifact.
+type Envelope struct {
+	Kind           string // artifact family, e.g. "wise-models", "wise-labels"
+	PayloadVersion int    // schema version of the payload, owned by the caller
+	Payload        []byte
+}
+
+// Seal prepends the envelope header to the payload.
+func Seal(kind string, payloadVersion int, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%skind=%s payload-version=%d sha256=%s bytes=%d\n",
+		envelopeMagic, kind, payloadVersion, hex.EncodeToString(sum[:]), len(payload))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// Open validates an enveloped artifact and returns its payload. It checks
+// the magic (ErrNotEnveloped when absent), the kind, the declared length
+// (catching truncation), and the sha256 checksum (catching corruption).
+func Open(kind string, data []byte) (Envelope, error) {
+	if !bytes.HasPrefix(data, []byte(envelopeMagic)) {
+		return Envelope{}, ErrNotEnveloped
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return Envelope{}, fmt.Errorf("resilience: artifact truncated inside the envelope header")
+	}
+	fields := strings.Fields(string(data[len(envelopeMagic):nl]))
+	env := Envelope{PayloadVersion: -1}
+	declaredSum, declaredBytes := "", -1
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Envelope{}, fmt.Errorf("resilience: malformed envelope header field %q", f)
+		}
+		var err error
+		switch key {
+		case "kind":
+			env.Kind = val
+		case "payload-version":
+			env.PayloadVersion, err = strconv.Atoi(val)
+		case "sha256":
+			declaredSum = val
+		case "bytes":
+			declaredBytes, err = strconv.Atoi(val)
+		}
+		if err != nil {
+			return Envelope{}, fmt.Errorf("resilience: malformed envelope header field %q: %w", f, err)
+		}
+	}
+	if env.Kind == "" || env.PayloadVersion < 0 || declaredSum == "" || declaredBytes < 0 {
+		return Envelope{}, fmt.Errorf("resilience: envelope header missing required fields (kind, payload-version, sha256, bytes)")
+	}
+	if kind != "" && env.Kind != kind {
+		return Envelope{}, fmt.Errorf("resilience: artifact kind is %q, want %q", env.Kind, kind)
+	}
+	payload := data[nl+1:]
+	if len(payload) != declaredBytes {
+		return Envelope{}, fmt.Errorf("resilience: artifact truncated or padded: payload is %d bytes, header declares %d", len(payload), declaredBytes)
+	}
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != declaredSum {
+		return Envelope{}, fmt.Errorf("resilience: artifact checksum mismatch: payload sha256 %s, header declares %s", got, declaredSum)
+	}
+	env.Payload = payload
+	return env, nil
+}
+
+// WriteArtifact atomically writes payload to path inside a sealed envelope.
+func WriteArtifact(path, kind string, payloadVersion int, payload []byte) error {
+	return AtomicWriteFile(path, Seal(kind, payloadVersion, payload), 0o644)
+}
+
+// ReadArtifact reads and validates an enveloped artifact. The returned error
+// is ErrNotEnveloped (possibly wrapped) when the file exists but predates
+// the envelope format, so callers can fall back to legacy decoding of the
+// raw bytes, which are returned alongside the error in that case.
+func ReadArtifact(path, kind string) (Envelope, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Envelope{}, nil, fmt.Errorf("resilience: reading artifact: %w", err)
+	}
+	env, err := Open(kind, data)
+	if err != nil {
+		if errors.Is(err, ErrNotEnveloped) {
+			return Envelope{}, data, fmt.Errorf("%w: %s", ErrNotEnveloped, path)
+		}
+		return Envelope{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return env, nil, nil
+}

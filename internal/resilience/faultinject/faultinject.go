@@ -1,0 +1,277 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// pipeline's recovery paths. Production code marks named sites with
+// faultinject.Hit("pkg.site") (or wraps writers with faultinject.Writer);
+// tests and operators arm those sites with a seedable spec that injects
+// panics, I/O errors, short writes, or delays at precise points. Injection
+// is off by default and costs one atomic pointer load per site when
+// disarmed, so the hooks stay in production builds.
+//
+// A spec is a comma-separated list of clauses:
+//
+//	site:kind[:key=value...]
+//
+// where kind is one of panic, error, delay, shortwrite, and the optional
+// keys are
+//
+//	after=N    skip the first N hits of the site (default 0)
+//	times=N    trigger at most N times (default 1; times=all means every hit)
+//	p=F        trigger each eligible hit with probability F, derived
+//	           deterministically from the configured seed and the hit index
+//	d=DUR      sleep duration for kind delay (e.g. d=50ms)
+//	n=N        byte cap for kind shortwrite (write fails after N bytes)
+//
+// Example: interrupt labeling after the third matrix and make every
+// checkpoint rename fail once:
+//
+//	perf.label.interrupt:error:after=3,resilience.atomic.rename:error
+//
+// The CLIs arm the harness from the environment: WISE_FAULTS holds the spec
+// and WISE_FAULT_SEED the seed (default 1). See RESILIENCE.md.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so recovery
+// tests can assert the failure came from the harness.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+type kindT int
+
+const (
+	kindPanic kindT = iota
+	kindError
+	kindDelay
+	kindShortWrite
+)
+
+var kindNames = map[string]kindT{
+	"panic": kindPanic, "error": kindError,
+	"delay": kindDelay, "shortwrite": kindShortWrite,
+}
+
+// clause is one armed fault at one site.
+type clause struct {
+	site  string
+	kind  kindT
+	after int64         // skip the first `after` hits
+	times int64         // max triggers; <= 0 means unlimited
+	prob  float64       // per-hit trigger probability; 0 or 1 means always
+	delay time.Duration // kind delay
+	n     int64         // kind shortwrite: bytes allowed before failing
+
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+// plan is one parsed, armed spec.
+type plan struct {
+	seed    int64
+	bySites map[string][]*clause
+}
+
+var active atomic.Pointer[plan]
+
+// Enabled reports whether any faults are armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Disable disarms all faults.
+func Disable() { active.Store(nil) }
+
+// Configure parses and arms a fault spec. An empty spec disarms everything.
+// Counters start at zero on every Configure call.
+func Configure(spec string, seed int64) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		Disable()
+		return nil
+	}
+	p := &plan{seed: seed, bySites: make(map[string][]*clause)}
+	for _, raw := range strings.Split(spec, ",") {
+		c, err := parseClause(strings.TrimSpace(raw))
+		if err != nil {
+			return err
+		}
+		p.bySites[c.site] = append(p.bySites[c.site], c)
+	}
+	active.Store(p)
+	return nil
+}
+
+// ConfigureFromEnv arms the harness from WISE_FAULTS / WISE_FAULT_SEED.
+// With WISE_FAULTS unset or empty it leaves injection disabled.
+func ConfigureFromEnv(getenv func(string) string) error {
+	spec := getenv("WISE_FAULTS")
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	seed := int64(1)
+	if s := strings.TrimSpace(getenv("WISE_FAULT_SEED")); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faultinject: WISE_FAULT_SEED %q: %w", s, err)
+		}
+		seed = v
+	}
+	if err := Configure(spec, seed); err != nil {
+		return fmt.Errorf("WISE_FAULTS: %w", err)
+	}
+	return nil
+}
+
+func parseClause(raw string) (*clause, error) {
+	fields := strings.Split(raw, ":")
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("faultinject: clause %q: want site:kind[:key=value...]", raw)
+	}
+	kind, ok := kindNames[fields[1]]
+	if !ok {
+		return nil, fmt.Errorf("faultinject: clause %q: unknown kind %q (want panic, error, delay, shortwrite)", raw, fields[1])
+	}
+	c := &clause{site: fields[0], kind: kind, times: 1, n: -1}
+	for _, kv := range fields[2:] {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return nil, fmt.Errorf("faultinject: clause %q: option %q is not key=value", raw, kv)
+		}
+		var err error
+		switch key {
+		case "after":
+			c.after, err = strconv.ParseInt(val, 10, 64)
+		case "times":
+			if val == "all" {
+				c.times = 0
+			} else {
+				c.times, err = strconv.ParseInt(val, 10, 64)
+			}
+		case "p":
+			c.prob, err = strconv.ParseFloat(val, 64)
+		case "d":
+			c.delay, err = time.ParseDuration(val)
+		case "n":
+			c.n, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return nil, fmt.Errorf("faultinject: clause %q: unknown option %q", raw, key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: option %q: %w", raw, kv, err)
+		}
+	}
+	if c.kind == kindDelay && c.delay <= 0 {
+		return nil, fmt.Errorf("faultinject: clause %q: kind delay needs d=<duration>", raw)
+	}
+	if c.kind == kindShortWrite && c.n < 0 {
+		return nil, fmt.Errorf("faultinject: clause %q: kind shortwrite needs n=<bytes>", raw)
+	}
+	return c, nil
+}
+
+// trigger advances the clause's hit counter and reports whether this hit
+// fires, deterministically in (seed, hit index).
+func (c *clause) trigger(seed int64) bool {
+	h := c.hits.Add(1) - 1 // 0-based index of this hit
+	if h < c.after {
+		return false
+	}
+	if c.prob > 0 && c.prob < 1 {
+		if u01(seed, c.site, h) >= c.prob {
+			return false
+		}
+	}
+	for {
+		fired := c.fired.Load()
+		if c.times > 0 && fired >= c.times {
+			return false
+		}
+		if c.fired.CompareAndSwap(fired, fired+1) {
+			return true
+		}
+	}
+}
+
+// u01 maps (seed, site, hit) to a uniform [0, 1) value via splitmix64 — no
+// shared generator state, so concurrent sites stay deterministic.
+func u01(seed int64, site string, hit int64) float64 {
+	x := uint64(seed) ^ uint64(hit)*0x9e3779b97f4a7c15
+	for _, b := range []byte(site) {
+		x = (x ^ uint64(b)) * 0xbf58476d1ce4e5b9
+	}
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Hit marks one execution of a named site. With a matching armed clause it
+// panics (kind panic), returns an injected error (kind error), or sleeps
+// (kind delay); otherwise — and always when injection is disabled — it
+// returns nil after a single atomic load.
+func Hit(site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	for _, c := range p.bySites[site] {
+		if c.kind == kindShortWrite || !c.trigger(p.seed) {
+			continue
+		}
+		switch c.kind {
+		case kindPanic:
+			panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+		case kindError:
+			return fmt.Errorf("%w: injected I/O error at %s", ErrInjected, site)
+		case kindDelay:
+			time.Sleep(c.delay)
+		}
+	}
+	return nil
+}
+
+// Writer wraps w with any armed shortwrite clause for the site: once the
+// clause triggers (counted per Writer call), writes succeed for the first n
+// bytes and then fail with ErrInjected — a deterministic torn write. With no
+// armed clause, w is returned unchanged.
+func Writer(site string, w io.Writer) io.Writer {
+	p := active.Load()
+	if p == nil {
+		return w
+	}
+	for _, c := range p.bySites[site] {
+		if c.kind == kindShortWrite && c.trigger(p.seed) {
+			return &shortWriter{w: w, site: site, remaining: c.n}
+		}
+	}
+	return w
+}
+
+type shortWriter struct {
+	w         io.Writer
+	site      string
+	remaining int64
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.remaining <= 0 {
+		return 0, fmt.Errorf("%w: short write at %s", ErrInjected, s.site)
+	}
+	if int64(len(p)) <= s.remaining {
+		n, err := s.w.Write(p)
+		s.remaining -= int64(n)
+		return n, err
+	}
+	n, err := s.w.Write(p[:s.remaining])
+	s.remaining -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("%w: short write at %s", ErrInjected, s.site)
+}

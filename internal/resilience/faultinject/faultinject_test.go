@@ -1,0 +1,207 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled after Disable")
+	}
+	if err := Hit("any.site"); err != nil {
+		t.Fatalf("Hit while disabled: %v", err)
+	}
+	var buf bytes.Buffer
+	if w := Writer("any.site", &buf); w != &buf {
+		t.Fatal("Writer while disabled should return the underlying writer")
+	}
+}
+
+func TestErrorClauseAfterAndTimes(t *testing.T) {
+	if err := Configure("s:error:after=2:times=2", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Hit("s") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestInjectedErrorIsSentinel(t *testing.T) {
+	if err := Configure("s:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	err := Hit("s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "s") {
+		t.Fatalf("err = %v, want site name", err)
+	}
+}
+
+func TestPanicClause(t *testing.T) {
+	if err := Configure("boom:panic", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic injected")
+		}
+	}()
+	_ = Hit("boom")
+}
+
+func TestDelayClause(t *testing.T) {
+	if err := Configure("slow:delay:d=30ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay = %v, want >= ~30ms", d)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	if err := Configure("w:shortwrite:n=4", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	var buf bytes.Buffer
+	w := Writer("w", &buf)
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("n=%d err=%v, want 4 bytes then ErrInjected", n, err)
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("buf = %q, want abcd", buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	// The clause defaults to times=1, so the next Writer call passes through.
+	var buf2 bytes.Buffer
+	if w2 := Writer("w", &buf2); w2 != &buf2 {
+		t.Fatal("second Writer should be pass-through after times=1 exhausted")
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	fires := func(seed int64) []bool {
+		if err := Configure("p.site:error:p=0.5:times=all", seed); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Hit("p.site") != nil
+		}
+		return out
+	}
+	defer Disable()
+	a, b := fires(7), fires(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d: %v vs %v", i, a, b)
+		}
+	}
+	c := fires(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical firing patterns (suspicious)")
+	}
+	anyTrue, anyFalse := false, false
+	for _, v := range a {
+		anyTrue = anyTrue || v
+		anyFalse = anyFalse || !v
+	}
+	if !anyTrue || !anyFalse {
+		t.Fatalf("p=0.5 over 32 hits fired all-or-nothing: %v", a)
+	}
+}
+
+func TestMultipleClauses(t *testing.T) {
+	if err := Configure("a:error, b:error:after=1", 3); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	if Hit("a") == nil {
+		t.Fatal("site a should fire immediately")
+	}
+	if Hit("b") != nil {
+		t.Fatal("site b should skip the first hit")
+	}
+	if Hit("b") == nil {
+		t.Fatal("site b should fire on the second hit")
+	}
+	if Hit("unarmed") != nil {
+		t.Fatal("unarmed site fired")
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	defer Disable()
+	for _, spec := range []string{
+		"nosite",
+		"s:badkind",
+		"s:error:times",
+		"s:error:bogus=1",
+		"s:delay",         // missing d=
+		"s:shortwrite",    // missing n=
+		"s:error:after=x", // non-integer
+	} {
+		if err := Configure(spec, 1); err == nil {
+			t.Errorf("Configure(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestConfigureFromEnv(t *testing.T) {
+	defer Disable()
+	env := map[string]string{}
+	getenv := func(k string) string { return env[k] }
+
+	if err := ConfigureFromEnv(getenv); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("empty WISE_FAULTS armed injection")
+	}
+
+	env["WISE_FAULTS"] = "s:error"
+	env["WISE_FAULT_SEED"] = "42"
+	if err := ConfigureFromEnv(getenv); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("WISE_FAULTS did not arm injection")
+	}
+
+	env["WISE_FAULT_SEED"] = "notanumber"
+	if err := ConfigureFromEnv(getenv); err == nil {
+		t.Fatal("bad WISE_FAULT_SEED accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Package resilience is the fault-tolerance runtime of the pipeline: atomic
+// artifact writes (temp + fsync + rename), checksummed and versioned artifact
+// envelopes so corrupt or truncated files fail loudly at load, bounded
+// retry-with-backoff for transiently failing operations, and signal-aware
+// contexts for checkpoint-then-exit shutdown. The companion subpackage
+// faultinject provides deterministic fault injection at named sites so every
+// recovery path in this package and its callers is exercisable from tests.
+//
+// RESILIENCE.md documents the failure modes these primitives cover and how
+// the CLIs surface them (exit codes, -checkpoint, quarantine reporting).
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wise/internal/resilience/faultinject"
+)
+
+// AtomicWriteFile writes data to path atomically: the bytes go to a temp
+// file in the same directory, are fsynced, and the temp file is renamed over
+// path. Readers never observe a partially written file — after a crash the
+// destination holds either the old content or the new content, nothing in
+// between. The temp file is removed on any failure.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	af, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	af.perm = perm
+	if _, err := af.Write(data); err != nil {
+		af.Abort()
+		return err
+	}
+	return af.Commit()
+}
+
+// AtomicFile is a streaming destination that becomes visible at path only
+// when Commit succeeds. Use CreateAtomic / Write / Commit, with Abort
+// deferred for the error paths (Abort after Commit is a no-op, so
+// `defer af.Abort()` is always safe).
+type AtomicFile struct {
+	f    *os.File
+	path string
+	perm os.FileMode
+	done bool
+}
+
+// CreateAtomic opens a temp file next to path for writing. Nothing is
+// visible at path until Commit.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("resilience: creating temp file for %s: %w", path, err)
+	}
+	return &AtomicFile{f: f, path: path, perm: 0o644}, nil
+}
+
+// Write appends to the pending temp file. A fault-injection clause at site
+// "resilience.atomic.write" can truncate or fail the stream in tests.
+func (a *AtomicFile) Write(p []byte) (int, error) {
+	if a.done {
+		return 0, fmt.Errorf("resilience: write to committed/aborted atomic file %s", a.path)
+	}
+	return faultinject.Writer("resilience.atomic.write", a.f).Write(p)
+}
+
+// Commit fsyncs the temp file and renames it over the destination path. On
+// any failure the temp file is removed and the destination is untouched.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("resilience: double commit of %s", a.path)
+	}
+	a.done = true
+	name := a.f.Name()
+	fail := func(stage string, err error) error {
+		_ = a.f.Close()
+		_ = os.Remove(name)
+		return fmt.Errorf("resilience: %s for %s: %w", stage, a.path, err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	if err := a.f.Close(); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("resilience: closing temp file for %s: %w", a.path, err)
+	}
+	if err := os.Chmod(name, a.perm); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("resilience: chmod temp file for %s: %w", a.path, err)
+	}
+	if err := faultinject.Hit("resilience.atomic.rename"); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("resilience: renaming onto %s: %w", a.path, err)
+	}
+	if err := os.Rename(name, a.path); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("resilience: renaming onto %s: %w", a.path, err)
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Abort discards the pending temp file. No-op after Commit or a previous
+// Abort.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	name := a.f.Name()
+	_ = a.f.Close()
+	_ = os.Remove(name)
+}
+
+// syncDir fsyncs a directory so the rename itself is durable. Best-effort:
+// some filesystems reject directory fsync, and the rename is already atomic
+// with respect to readers.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	//lint:ignore errdrop directory fsync is best-effort durability; unsupported on some filesystems
+	d.Sync()
+}

@@ -1,0 +1,281 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wise/internal/resilience/faultinject"
+)
+
+func TestAtomicWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	want := []byte("hello world")
+	if err := AtomicWriteFile(path, want, 0o600); err != nil {
+		t.Fatalf("AtomicWriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content = %q, want %q", got, want)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", st.Mode().Perm())
+	}
+}
+
+func TestAtomicWriteOverwriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("content = %q, want v2", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want only the destination: %v", len(entries), entries)
+	}
+}
+
+// A short write injected into the temp-file stream must leave the old
+// destination untouched and clean up the temp file.
+func TestAtomicWriteShortWritePreservesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, []byte("old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure("resilience.atomic.write:shortwrite:n=3", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+	err := AtomicWriteFile(path, []byte("new content that is longer"), 0o644)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "old content" {
+		t.Fatalf("destination = %q, want untouched old content", got)
+	}
+	entries, err2 := os.ReadDir(dir)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %v", entries)
+	}
+}
+
+// A rename failure must also leave the destination untouched.
+func TestAtomicWriteRenameFaultPreservesOldContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure("resilience.atomic.rename:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+	if err := AtomicWriteFile(path, []byte("new"), 0o644); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Fatalf("destination = %q, want old", got)
+	}
+}
+
+func TestAtomicFileAbortAfterCommitIsNoOp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	af, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Abort()
+	if _, err := af.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	af.Abort() // must not remove the committed file
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed file missing after Abort: %v", err)
+	}
+	if err := af.Commit(); err == nil {
+		t.Fatal("double commit succeeded, want error")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte(`{"models":[1,2,3]}`)
+	sealed := Seal("wise-models", 4, payload)
+	env, err := Open("wise-models", sealed)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if env.Kind != "wise-models" || env.PayloadVersion != 4 {
+		t.Fatalf("env = %+v", env)
+	}
+	if !bytes.Equal(env.Payload, payload) {
+		t.Fatalf("payload = %q, want %q", env.Payload, payload)
+	}
+}
+
+func TestEnvelopeDeterministic(t *testing.T) {
+	a := Seal("wise-labels", 1, []byte("payload"))
+	b := Seal("wise-labels", 1, []byte("payload"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("Seal is not deterministic for identical payloads")
+	}
+}
+
+func TestEnvelopeOpenErrors(t *testing.T) {
+	sealed := Seal("wise-models", 1, []byte("the payload bytes"))
+	cases := []struct {
+		name    string
+		data    []byte
+		kind    string
+		wantErr string
+		notEnv  bool
+	}{
+		{name: "raw JSON", data: []byte(`{"version":1}`), kind: "wise-models", notEnv: true},
+		{name: "empty", data: nil, kind: "wise-models", notEnv: true},
+		{name: "truncated header", data: sealed[:len(envelopeMagic)+4], kind: "wise-models", wantErr: "truncated inside the envelope header"},
+		{name: "truncated payload", data: sealed[:len(sealed)-5], kind: "wise-models", wantErr: "truncated"},
+		{name: "corrupt payload", data: flipLastByte(sealed), kind: "wise-models", wantErr: "checksum mismatch"},
+		{name: "wrong kind", data: sealed, kind: "wise-labels", wantErr: `kind is "wise-models", want "wise-labels"`},
+		{name: "missing fields", data: []byte(envelopeMagic + "kind=x\npayload"), kind: "", wantErr: "missing required fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(tc.kind, tc.data)
+			if tc.notEnv {
+				if !errors.Is(err, ErrNotEnveloped) {
+					t.Fatalf("err = %v, want ErrNotEnveloped", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func flipLastByte(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	out[len(out)-1] ^= 0xff
+	return out
+}
+
+func TestReadArtifactLegacyFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "models.json")
+	legacy := []byte(`{"version":1}`)
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, raw, err := ReadArtifact(path, "wise-models")
+	if !errors.Is(err, ErrNotEnveloped) {
+		t.Fatalf("err = %v, want ErrNotEnveloped", err)
+	}
+	if !bytes.Equal(raw, legacy) {
+		t.Fatalf("raw = %q, want legacy bytes for fallback decoding", raw)
+	}
+}
+
+func TestWriteReadArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.bin")
+	payload := []byte("gzip bytes here")
+	if err := WriteArtifact(path, "wise-labels", 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	env, raw, err := ReadArtifact(path, "wise-labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != nil {
+		t.Fatal("raw should be nil for enveloped artifacts")
+	}
+	if env.PayloadVersion != 2 || !bytes.Equal(env.Payload, payload) {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{Attempts: 4, Backoff: 10 * time.Millisecond, Max: 15 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := Retry(context.Background(), cfg, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond} // doubled then capped
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v", slept, want)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	base := errors.New("persistent")
+	cfg := RetryConfig{Attempts: 3, Sleep: func(time.Duration) {}}
+	err := Retry(context.Background(), cfg, func() error { return base })
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped base error", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want attempt count", err)
+	}
+}
+
+func TestRetryStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	cfg := RetryConfig{Attempts: 10, Backoff: time.Millisecond, Sleep: func(time.Duration) { cancel() }}
+	err := Retry(ctx, cfg, func() error { calls++; return errors.New("x") })
+	if err == nil {
+		t.Fatal("want error after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled during first backoff)", calls)
+	}
+}

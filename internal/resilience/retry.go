@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RetryConfig bounds a retry loop. The zero value retries nothing; use
+// DefaultRetry for the pipeline's standard policy.
+type RetryConfig struct {
+	Attempts int           // total attempts, including the first; <= 1 means no retry
+	Backoff  time.Duration // sleep before the second attempt, doubling each retry
+	Max      time.Duration // backoff ceiling; 0 means uncapped
+	Sleep    func(time.Duration)
+}
+
+// DefaultRetry is the standard bounded policy: three attempts with 10ms
+// exponential backoff capped at 100ms — enough to step over a transient
+// hiccup (scheduler preemption during wall-clock measurement, a slow NFS
+// write) without hiding persistent failure.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{Attempts: 3, Backoff: 10 * time.Millisecond, Max: 100 * time.Millisecond}
+}
+
+// Retry runs op up to cfg.Attempts times, sleeping with exponential backoff
+// between attempts, until op returns nil. It stops early when ctx is
+// cancelled and returns the last error wrapped with the attempt count.
+func Retry(ctx context.Context, cfg RetryConfig, op func() error) error {
+	attempts := cfg.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := cfg.Backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if e := ctx.Err(); e != nil {
+			if err != nil {
+				return fmt.Errorf("resilience: retry cancelled after %d attempt(s): %w", i, err)
+			}
+			return e
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if i < attempts-1 && backoff > 0 {
+			sleep(backoff)
+			backoff *= 2
+			if cfg.Max > 0 && backoff > cfg.Max {
+				backoff = cfg.Max
+			}
+		}
+	}
+	if attempts == 1 {
+		return err
+	}
+	return fmt.Errorf("resilience: failed after %d attempts: %w", attempts, err)
+}

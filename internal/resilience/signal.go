@@ -1,0 +1,17 @@
+package resilience
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, for
+// checkpoint-then-exit shutdown: long stages (labeling, cross-validation)
+// watch ctx.Done(), flush their checkpoint, and unwind with
+// context.Canceled. A second signal kills the process immediately via the
+// restored default handler, so a wedged drain never traps the operator.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,17 +1,22 @@
 // wise-lint runs the repo-invariant static analyzer suite (internal/lint)
-// over the module: determinism, floateq, spanhygiene, goroutinesafety, and
-// errdrop. It prints findings as file:line:col: [analyzer] message, exits 1
-// when any finding survives suppression, and 2 on load errors. See
-// LINTING.md for the analyzer catalogue and the //lint:ignore syntax.
+// over the module. It prints findings as file:line:col: [analyzer] message,
+// exits 1 when any finding survives suppression, and 2 on load or usage
+// errors. See LINTING.md for the analyzer catalogue, the //lint:ignore
+// syntax, and the v2 dataflow engine.
 //
 // Usage:
 //
-//	wise-lint [-json file] [packages ...]
+//	wise-lint [-json file] [-sarif file] [-fix] [packages ...]
 //
 // Package patterns are directory-based: "./..." (or no arguments) lints the
 // whole module; "./internal/ml" or "./internal/..." restricts the report to
-// the matching packages. The whole module is always loaded and type-checked
-// so cross-package analysis stays sound.
+// the matching packages. A pattern that names no directory is a usage error.
+// The whole module is always loaded and type-checked so cross-package
+// analysis stays sound.
+//
+// -sarif writes the findings as a SARIF 2.1.0 log for CI code-scanning
+// upload. -fix applies the suggested fixes (capacity hints, context
+// threading), rewriting only files in which every finding has a fix.
 package main
 
 import (
@@ -28,6 +33,8 @@ import (
 
 func main() {
 	jsonPath := flag.String("json", "", "also write findings as JSON to this file (- for stdout)")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (- for stdout)")
+	fix := flag.Bool("fix", false, "apply suggested fixes; only files where every finding has a fix are rewritten")
 	list := flag.Bool("analyzers", false, "list the analyzer suite and exit")
 	flag.Parse()
 
@@ -46,7 +53,9 @@ func main() {
 
 	// Directory arguments under a testdata/ tree are analyzer fixtures:
 	// they sit outside the module walk and are loaded individually. All
-	// other arguments filter the module-wide report.
+	// other arguments filter the module-wide report and must name a real
+	// directory — a typo'd pattern silently matching nothing would let CI
+	// pass vacuously.
 	var patterns []string
 	var findings []lint.Finding
 	for _, arg := range flag.Args() {
@@ -59,23 +68,31 @@ func main() {
 			findings = append(findings, lint.RunPackage(mod, pkg, lint.All())...)
 			continue
 		}
+		if err := validatePattern(arg); err != nil {
+			fmt.Fprintln(os.Stderr, "wise-lint:", err)
+			os.Exit(2)
+		}
 		patterns = append(patterns, arg)
 	}
 	if len(patterns) > 0 || len(flag.Args()) == 0 {
 		findings = append(findings, filterByPatterns(lint.Run(mod, lint.All()), mod.Root, patterns)...)
 	}
 
-	// With -json -, stdout carries only the JSON so it pipes cleanly; the
-	// human-readable lines move to stderr.
+	if *fix {
+		os.Exit(applyFixes(mod, findings))
+	}
+
+	// With -json - or -sarif -, stdout carries only the machine-readable
+	// log so it pipes cleanly; the human-readable lines move to stderr.
 	human := os.Stdout
-	if *jsonPath == "-" {
+	if *jsonPath == "-" || *sarifPath == "-" {
 		human = os.Stderr
 	}
 	for _, f := range findings {
 		//lint:ignore errdrop human only ever aliases os.Stdout or os.Stderr
 		fmt.Fprintln(human, relFinding(mod.Root, f))
 	}
-	if *jsonPath != "" {
+	if *jsonPath != "" || *sarifPath != "" {
 		rel := make([]lint.Finding, len(findings))
 		for i, f := range findings {
 			rel[i] = f
@@ -83,22 +100,86 @@ func main() {
 				rel[i].File = r
 			}
 		}
-		var buf bytes.Buffer
-		if err := lint.WriteJSON(&buf, rel); err != nil {
-			fmt.Fprintln(os.Stderr, "wise-lint:", err)
-			os.Exit(2)
+		if *jsonPath != "" {
+			var buf bytes.Buffer
+			if err := lint.WriteJSON(&buf, rel); err != nil {
+				fmt.Fprintln(os.Stderr, "wise-lint:", err)
+				os.Exit(2)
+			}
+			writeReport(*jsonPath, buf.Bytes())
 		}
-		if *jsonPath == "-" {
-			fmt.Print(buf.String())
-		} else if err := resilience.AtomicWriteFile(*jsonPath, buf.Bytes(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "wise-lint:", err)
-			os.Exit(2)
+		if *sarifPath != "" {
+			var buf bytes.Buffer
+			if err := lint.WriteSARIF(&buf, lint.All(), rel); err != nil {
+				fmt.Fprintln(os.Stderr, "wise-lint:", err)
+				os.Exit(2)
+			}
+			writeReport(*sarifPath, buf.Bytes())
 		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "wise-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// writeReport writes a machine-readable report to path, with "-" meaning
+// stdout. File writes go through the resilience layer so a crashed run never
+// leaves a truncated log for CI to upload.
+func writeReport(path string, data []byte) {
+	if path == "-" {
+		fmt.Print(string(data))
+		return
+	}
+	if err := resilience.AtomicWriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wise-lint:", err)
+		os.Exit(2)
+	}
+}
+
+// validatePattern rejects package patterns that name no directory on disk.
+// The module-wide tokens are always valid; anything else must resolve (after
+// stripping a /... suffix) to an existing directory.
+func validatePattern(p string) error {
+	if p == "./..." || p == "..." || p == "all" {
+		return nil
+	}
+	dir := strings.TrimSuffix(p, "/...")
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return fmt.Errorf("unknown package pattern %q: %s is not a directory in this module", p, dir)
+	}
+	return nil
+}
+
+// applyFixes rewrites the files whose findings all carry mechanical fixes and
+// reports what was applied or skipped. Returns the process exit code: 0 when
+// every finding was fixed, 1 when any file was refused.
+func applyFixes(mod *lint.Module, findings []lint.Finding) int {
+	write := func(path string, data []byte) error {
+		return resilience.AtomicWriteFile(path, data, 0o644)
+	}
+	results, err := lint.ApplyFixes(mod.Fset, findings, write)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wise-lint:", err)
+		return 2
+	}
+	code := 0
+	for _, r := range results {
+		file := r.File
+		if rel, err := filepath.Rel(mod.Root, file); err == nil {
+			file = rel
+		}
+		if len(r.Skipped) > 0 {
+			code = 1
+			fmt.Fprintf(os.Stderr, "wise-lint: %s: %d finding(s) have no mechanical fix; file left untouched\n", file, len(r.Skipped))
+			for _, s := range r.Skipped {
+				fmt.Fprintln(os.Stderr, "  "+s)
+			}
+			continue
+		}
+		fmt.Printf("wise-lint: %s: applied %d fix(es)\n", file, r.Applied)
+	}
+	return code
 }
 
 // underTestdata reports whether any element of the path is "testdata".

@@ -81,9 +81,10 @@ func (e *Estimator) SegCSRCycles(f *kernels.SegCSR) float64 {
 	k := f.RowBlock
 	nBlocks := (f.Rows + k - 1) / k
 	var total float64
+	blocks := make([]float64, nBlocks) // reused across segments; zeroed each pass
 	for si := range f.Segs {
 		seg := &f.Segs[si]
-		blocks := make([]float64, nBlocks)
+		clear(blocks)
 		for i := 0; i < f.Rows; i++ {
 			lo, hi := seg.RowPtr[i], seg.RowPtr[i+1]
 			nnz := float64(hi - lo)
@@ -153,9 +154,16 @@ func (e *Estimator) PackCycles(p *kernels.SRVPack) float64 {
 	}
 
 	vecPositions := float64((p.C + mach.VectorWidth - 1) / mach.VectorWidth)
+	maxChunks := 0
+	for si := range p.Segments {
+		if c := p.Segments[si].Chunks(); c > maxChunks {
+			maxChunks = c
+		}
+	}
+	unitBuf := make([]float64, maxChunks) // reused across segments; fully overwritten
 	for si := range p.Segments {
 		seg := &p.Segments[si]
-		unit := make([]float64, seg.Chunks())
+		unit := unitBuf[:seg.Chunks()]
 		for k := range unit {
 			lo, hi := seg.ChunkOff[k], seg.ChunkOff[k+1]
 			w := float64(hi - lo)

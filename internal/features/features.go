@@ -16,6 +16,21 @@ import (
 // GrX_potReuse features (paper Section 4.2).
 var GroupSizes = []int{4, 8, 16, 32, 64}
 
+// groupNames holds the per-group feature names, formatted once at package
+// init so Extract's loops stay allocation-free on the hot path.
+var groupNames = func() map[int][4]string {
+	m := make(map[int][4]string, len(GroupSizes))
+	for _, x := range GroupSizes {
+		m[x] = [4]string{
+			fmt.Sprintf("gr%d_uniqR", x),
+			fmt.Sprintf("gr%d_uniqC", x),
+			fmt.Sprintf("gr%d_potReuseR", x),
+			fmt.Sprintf("gr%d_potReuseC", x),
+		}
+	}
+	return m
+}()
+
 // Config controls feature extraction.
 type Config struct {
 	// K is the logical tiling factor: the matrix is split into up to K x K
@@ -120,16 +135,18 @@ func Extract(m *matrix.CSR, cfg Config) Features {
 	add("uniqR", float64(rowSide[1])/denomNNZ)
 	add("uniqC", float64(colSide[1])/denomNNZ)
 	for _, x := range GroupSizes {
-		add(fmt.Sprintf("gr%d_uniqR", x), float64(rowSide[x])/denomNNZ)
-		add(fmt.Sprintf("gr%d_uniqC", x), float64(colSide[x])/denomNNZ)
+		names := groupNames[x]
+		add(names[0], float64(rowSide[x])/denomNNZ)
+		add(names[1], float64(colSide[x])/denomNNZ)
 	}
 	add("potReuseR", float64(rowSide[1])/float64(maxInt(m.Rows, 1)))
 	add("potReuseC", float64(colSide[1])/float64(maxInt(m.Cols, 1)))
 	for _, x := range GroupSizes {
 		nGroupsR := (m.Rows + x - 1) / x
 		nGroupsC := (m.Cols + x - 1) / x
-		add(fmt.Sprintf("gr%d_potReuseR", x), float64(rowSide[x])/float64(maxInt(nGroupsR, 1)))
-		add(fmt.Sprintf("gr%d_potReuseC", x), float64(colSide[x])/float64(maxInt(nGroupsC, 1)))
+		names := groupNames[x]
+		add(names[2], float64(rowSide[x])/float64(maxInt(nGroupsR, 1)))
+		add(names[3], float64(colSide[x])/float64(maxInt(nGroupsC, 1)))
 	}
 	return f
 }

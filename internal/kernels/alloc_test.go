@@ -1,0 +1,65 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"wise/internal/gen"
+)
+
+// TestSerialSpMVZeroAllocs pins the steady-state allocation behavior of the
+// serial SpMV paths: after a warm-up call (which may size per-pack scratch),
+// repeated products must not touch the heap. This is what the hotalloc
+// analyzer enforces statically; the runtime guard catches anything the
+// analyzer cannot see, such as closures escaping through parallelUnits or
+// fmt boxing on a panic-free path.
+func TestSerialSpMVZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := gen.Banded(rng, 256, []int{-4, -1, 0, 1, 4})
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	y := make([]float64, m.Rows)
+
+	cases := []struct {
+		name string
+		spmv func(y, x []float64)
+	}{
+		{"CSR", BuildCSRFormat(m, Dyn, 8).SpMV},
+		{"SELLPACK", BuildSRVPack(m, Method{Kind: SELLPACK, C: 8, Sched: Dyn}).SpMV},
+		{"SegCSR", BuildSegCSR(m, 64, Dyn, 8).SpMV},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.spmv(y, x) // warm-up: scratch buffers reach steady state
+			allocs := testing.AllocsPerRun(100, func() {
+				tc.spmv(y, x)
+			})
+			if allocs != 0 {
+				t.Errorf("%s serial SpMV allocates %.1f objects/op in steady state, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestSerialSpMVZeroAllocsPermuted covers the LAV gather path: with a column
+// permutation the pack gathers x into a reused scratch vector, which must not
+// reallocate once warmed.
+func TestSerialSpMVZeroAllocsPermuted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := gen.RMAT(rng, 8, 8, gen.LowLoc)
+	p := BuildSRVPack(m, Method{Kind: LAV, C: 8, T: 0.7, Sched: Dyn})
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	y := make([]float64, m.Rows)
+	p.SpMV(y, x)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.SpMV(y, x)
+	})
+	if allocs != 0 {
+		t.Errorf("LAV serial SpMV allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}

@@ -43,19 +43,16 @@ func (f *CSRFormat) SpMVParallel(y, x []float64, workers int) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	rowSpan := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rp, rq := m.RowPtr[i], m.RowPtr[i+1]
-			var acc float64
-			for k := rp; k < rq; k++ {
-				acc += m.Vals[k] * x[m.ColIdx[k]]
-			}
-			y[i] = acc
-		}
+	if workers == 1 {
+		// Closure-free serial path: passing a closure through parallelUnits
+		// heap-allocates it (the goroutine branches make it escape), which
+		// would break the steady-state zero-allocation guarantee.
+		f.rowSpan(y, x, 0, m.Rows)
+		return
 	}
 	if f.Sched == StCont {
 		parallelUnits(workers, workers, StCont, func(w int) {
-			rowSpan(w*m.Rows/workers, (w+1)*m.Rows/workers)
+			f.rowSpan(y, x, w*m.Rows/workers, (w+1)*m.Rows/workers)
 		})
 		return
 	}
@@ -66,6 +63,24 @@ func (f *CSRFormat) SpMVParallel(y, x []float64, workers int) {
 		if hi > m.Rows {
 			hi = m.Rows
 		}
-		rowSpan(lo, hi)
+		f.rowSpan(y, x, lo, hi)
 	})
+}
+
+// rowSpan computes y[i] = A[i,:]*x for rows [lo, hi).
+func (f *CSRFormat) rowSpan(y, x []float64, lo, hi int) {
+	m := f.M
+	// ColIdx values come from parsed matrix files; re-assert the x bound
+	// cheaply here rather than faulting mid-kernel on corrupt input.
+	if len(x) < m.Cols {
+		panic(fmt.Sprintf("kernels: x[%d] shorter than matrix columns %d", len(x), m.Cols))
+	}
+	for i := lo; i < hi; i++ {
+		rp, rq := m.RowPtr[i], m.RowPtr[i+1]
+		var acc float64
+		for k := rp; k < rq; k++ {
+			acc += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[i] = acc
+	}
 }

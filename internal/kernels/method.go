@@ -178,12 +178,14 @@ func (m Method) PreprocessRank() int {
 // a machine: 3 CSR + 4 SELLPACK + 12 Sell-c-sigma + 2 Sell-c-R + 2 LAV-1Seg
 // + 6 LAV = 29 methods.
 func ModelSpace(mach machine.Machine) []Method {
-	var out []Method
+	cs := mach.ChunkSizes()
+	sigmas := mach.SigmaValues()
+	// 3 CSR + 2 SELLPACK/c + 2 Sell-c-sigma per (c, sigma) + 1 Sell-c-R/c +
+	// 1 LAV-1Seg/c + 3 LAV/c.
+	out := make([]Method, 0, 3+len(cs)*(7+2*len(sigmas)))
 	for _, s := range []Sched{Dyn, St, StCont} {
 		out = append(out, Method{Kind: CSR, Sched: s})
 	}
-	cs := mach.ChunkSizes()
-	sigmas := mach.SigmaValues()
 	for _, c := range cs {
 		for _, s := range []Sched{StCont, Dyn} {
 			out = append(out, Method{Kind: SELLPACK, Sched: s, C: c})

@@ -29,15 +29,17 @@ func WindowSortRows(base matrix.Permutation, counts []int64, sigma int) matrix.P
 	if sigma <= 1 {
 		return out
 	}
+	// The less predicate closes over a reassigned window slice so a single
+	// closure serves every window.
+	var window matrix.Permutation
+	less := func(i, j int) bool { return counts[window[i]] > counts[window[j]] }
 	for lo := 0; lo < len(out); lo += sigma {
 		hi := lo + sigma
 		if hi > len(out) {
 			hi = len(out)
 		}
-		window := out[lo:hi]
-		sort.SliceStable(window, func(i, j int) bool {
-			return counts[window[i]] > counts[window[j]]
-		})
+		window = out[lo:hi]
+		sort.SliceStable(window, less)
 	}
 	return out
 }

@@ -49,6 +49,11 @@ func BuildSegCSR(m *matrix.CSR, segCols int, sched Sched, rowBlock int) *SegCSR 
 		rowBlock = 64
 	}
 	out := &SegCSR{Rows: m.Rows, Cols: m.Cols, Sched: sched, RowBlock: rowBlock}
+	nSegs := (m.Cols + segCols - 1) / segCols
+	if nSegs < 1 {
+		nSegs = 1
+	}
+	out.Segs = make([]SegCSRSegment, 0, nSegs)
 	for lo := 0; lo < m.Cols || lo == 0; lo += segCols {
 		hi := lo + segCols
 		if hi > m.Cols {
@@ -59,6 +64,21 @@ func BuildSegCSR(m *matrix.CSR, segCols int, sched Sched, rowBlock int) *SegCSR 
 			ColHi:  int32(hi),
 			RowPtr: make([]int64, m.Rows+1),
 		}
+		// First pass counts the segment's nonzeros per row so the element
+		// arrays are allocated exactly once at their final size.
+		for i := 0; i < m.Rows; i++ {
+			cols, _ := m.Row(i)
+			n := seg.RowPtr[i]
+			for _, c := range cols {
+				if int(c) >= lo && int(c) < hi {
+					n++
+				}
+			}
+			seg.RowPtr[i+1] = n
+		}
+		nnz := seg.RowPtr[m.Rows]
+		seg.ColIdx = make([]int32, 0, nnz)
+		seg.Vals = make([]float64, 0, nnz)
 		for i := 0; i < m.Rows; i++ {
 			cols, vals := m.Row(i)
 			for k, c := range cols {
@@ -67,7 +87,6 @@ func BuildSegCSR(m *matrix.CSR, segCols int, sched Sched, rowBlock int) *SegCSR 
 					seg.Vals = append(seg.Vals, vals[k])
 				}
 			}
-			seg.RowPtr[i+1] = int64(len(seg.ColIdx))
 		}
 		out.Segs = append(out.Segs, seg)
 		if m.Cols == 0 {
@@ -91,23 +110,48 @@ func (f *SegCSR) SpMVParallel(y, x []float64, workers int) {
 	for i := range y {
 		y[i] = 0
 	}
+	if workers == 1 {
+		// Closure-free serial path: passing a closure through parallelUnits
+		// heap-allocates it (the goroutine branches make it escape), which
+		// would break the steady-state zero-allocation guarantee.
+		for si := range f.Segs {
+			f.Segs[si].addRows(y, x, 0, f.Rows)
+		}
+		return
+	}
 	blocks := (f.Rows + f.RowBlock - 1) / f.RowBlock
+	// One closure serves every segment: it reads the segment through a
+	// variable reassigned per iteration (parallelUnits is a barrier, so the
+	// reassignment never races with the workers).
+	var seg *SegCSRSegment
+	body := func(b int) {
+		lo := b * f.RowBlock
+		hi := lo + f.RowBlock
+		if hi > f.Rows {
+			hi = f.Rows
+		}
+		seg.addRows(y, x, lo, hi)
+	}
 	for si := range f.Segs {
-		seg := &f.Segs[si]
-		parallelUnits(workers, blocks, f.Sched, func(b int) {
-			lo := b * f.RowBlock
-			hi := lo + f.RowBlock
-			if hi > f.Rows {
-				hi = f.Rows
-			}
-			for i := lo; i < hi; i++ {
-				var acc float64
-				for k := seg.RowPtr[i]; k < seg.RowPtr[i+1]; k++ {
-					acc += seg.Vals[k] * x[seg.ColIdx[k]]
-				}
-				y[i] += acc
-			}
-		})
+		seg = &f.Segs[si]
+		parallelUnits(workers, blocks, f.Sched, body)
+	}
+}
+
+// addRows accumulates y[lo:hi] += A_seg * x for one column segment.
+func (s *SegCSRSegment) addRows(y, x []float64, lo, hi int) {
+	// ColIdx values lie in [ColLo, ColHi) by construction, but they originate
+	// in parsed matrix files; assert the segment's column range fits x before
+	// the inner loop rather than faulting mid-kernel.
+	if int(s.ColHi) > len(x) {
+		panic(fmt.Sprintf("kernels: segment columns [%d,%d) out of range for x[%d]", s.ColLo, s.ColHi, len(x)))
+	}
+	for i := lo; i < hi; i++ {
+		var acc float64
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			acc += s.Vals[k] * x[s.ColIdx[k]]
+		}
+		y[i] += acc
 	}
 }
 

@@ -2,7 +2,6 @@ package kernels
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"wise/internal/matrix"
@@ -44,6 +43,10 @@ type Segment struct {
 	ColIdx []int32
 	// ColLo, ColHi delimit the segment's column-rank range [ColLo, ColHi).
 	ColLo, ColHi int32
+
+	// maxIdx is the largest ColIdx value, recorded at build time so the
+	// kernel can bounds-check the gathered vector in O(1) per chunk.
+	maxIdx int32
 }
 
 // Chunks returns the number of chunks in the segment.
@@ -78,11 +81,28 @@ func BuildSRVPack(m *matrix.CSR, method Method) *SRVPack {
 		}
 	}
 
+	p.Segments = make([]Segment, 0, len(ranges))
 	for _, r := range ranges {
 		p.Segments = append(p.Segments, buildSegment(work, method, r.lo, r.hi))
 	}
 	p.nnz = int64(m.NNZ())
 	return p
+}
+
+// searchGE returns the first index k in the ascending slice cols with
+// cols[k] >= target. Plain binary search: a sort.Search call here would mint
+// a closure per row of the build loop.
+func searchGE(cols []int32, target int32) int {
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cols[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // buildSegment packs the nonzeros of work whose column lies in [cLo, cHi)
@@ -97,8 +117,8 @@ func buildSegment(work *matrix.CSR, method Method, cLo, cHi int32) Segment {
 	counts := make([]int64, rows)
 	for i := 0; i < rows; i++ {
 		cols, _ := work.Row(i)
-		lo := sort.Search(len(cols), func(k int) bool { return cols[k] >= cLo })
-		hi := sort.Search(len(cols), func(k int) bool { return cols[k] >= cHi })
+		lo := searchGE(cols, cLo)
+		hi := searchGE(cols, cHi)
 		spanLo[i] = work.RowPtr[i] + int64(lo)
 		counts[i] = int64(hi - lo)
 	}
@@ -158,6 +178,11 @@ func buildSegment(work *matrix.CSR, method Method, cLo, cHi int32) Segment {
 			// (Val 0, ColIdx 0), a safe read for any Cols >= 1.
 		}
 	}
+	for _, ci := range seg.ColIdx {
+		if ci > seg.maxIdx {
+			seg.maxIdx = ci
+		}
+	}
 	return seg
 }
 
@@ -182,16 +207,41 @@ func (p *SRVPack) SpMVParallel(y, x []float64, workers int) {
 	for i := range y {
 		y[i] = 0
 	}
+	if workers == 1 {
+		// Closure-free serial path: passing a closure through parallelUnits
+		// heap-allocates it (the goroutine branches make it escape), which
+		// would break the steady-state zero-allocation guarantee.
+		for si := range p.Segments {
+			p.Segments[si].segSpMV(p.C, y, xs)
+		}
+		return
+	}
+	// One closure serves every segment: it reads the segment through a
+	// variable reassigned per iteration (parallelUnits is a barrier, so the
+	// reassignment never races with the workers).
+	var seg *Segment
+	body := func(k int) { seg.chunkSpMV(k, p.C, y, xs) }
 	for si := range p.Segments {
-		seg := &p.Segments[si]
-		parallelUnits(workers, seg.Chunks(), p.Method.Sched, func(k int) {
-			seg.chunkSpMV(k, p.C, y, xs)
-		})
+		seg = &p.Segments[si]
+		parallelUnits(workers, seg.Chunks(), p.Method.Sched, body)
+	}
+}
+
+// segSpMV accumulates the whole segment's contribution into y sequentially.
+func (s *Segment) segSpMV(c int, y, xs []float64) {
+	for k := 0; k < s.Chunks(); k++ {
+		s.chunkSpMV(k, c, y, xs)
 	}
 }
 
 // chunkSpMV accumulates chunk k's contribution into y.
 func (s *Segment) chunkSpMV(k, c int, y, xs []float64) {
+	// ColIdx values come from parsed matrix files via the build; the recorded
+	// maximum makes the access range checkable before the inner loop instead
+	// of faulting mid-kernel on corrupt input.
+	if len(s.ColIdx) > 0 && int(s.maxIdx) >= len(xs) {
+		panic(fmt.Sprintf("kernels: packed column index %d out of range for x[%d]", s.maxIdx, len(xs)))
+	}
 	lo, hi := s.ChunkOff[k], s.ChunkOff[k+1]
 	base := k * c
 	lanes := len(s.RowOrder) - base

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+
+	"wise/internal/lint/cfg"
+)
+
+// TextEdit replaces the source range [Pos, End) with NewText. Positions are
+// token.Pos values from the module's FileSet.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is one machine-applicable resolution of a finding, applied by
+// wise-lint -fix. Fixes are only attached when the rewrite is provably
+// behavior-preserving (see LINTING.md, "-fix"); everything else stays a
+// human's job.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// FixResult reports what ApplyFixes did to one file.
+type FixResult struct {
+	File    string
+	Applied int      // edits written
+	Skipped []string // findings that blocked the file, as rendered strings
+}
+
+// ApplyFixes applies the suggested fixes of findings, one file at a time,
+// writing through the provided write function (the CLI passes an atomic
+// writer). A file is only rewritten when every finding in it carries a fix:
+// mixing mechanical rewrites into a file that still needs human attention
+// would produce a half-fixed file that looks done. Fixes are applied in
+// descending source order so earlier offsets stay valid; overlapping edits
+// in one file are an error. Applying is idempotent — a fixed file yields no
+// findings, so a second run makes no edits.
+func ApplyFixes(fset *token.FileSet, findings []Finding, write func(path string, data []byte) error) ([]FixResult, error) {
+	byFile := make(map[string][]Finding)
+	var files []string
+	for _, f := range findings {
+		if _, ok := byFile[f.File]; !ok {
+			files = append(files, f.File)
+		}
+		byFile[f.File] = append(byFile[f.File], f)
+	}
+	sort.Strings(files)
+	var out []FixResult
+	for _, path := range files {
+		res := FixResult{File: path}
+		var edits []TextEdit
+		for _, f := range byFile[path] {
+			if f.Fix == nil {
+				res.Skipped = append(res.Skipped, f.String())
+				continue
+			}
+			edits = append(edits, f.Fix.Edits...)
+		}
+		if len(res.Skipped) > 0 {
+			res.Skipped = append(res.Skipped, fmt.Sprintf("%s: not written: %d finding(s) have no mechanical fix", path, len(res.Skipped)))
+			out = append(out, res)
+			continue
+		}
+		if len(edits) == 0 {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return out, err
+		}
+		patched, n, err := applyEdits(fset, path, data, edits)
+		if err != nil {
+			return out, err
+		}
+		if err := write(path, patched); err != nil {
+			return out, err
+		}
+		res.Applied = n
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// applyEdits patches one file's bytes. Edits are deduplicated (two findings
+// may suggest the identical edit), sorted descending, and checked for
+// overlap.
+func applyEdits(fset *token.FileSet, path string, data []byte, edits []TextEdit) ([]byte, int, error) {
+	type span struct {
+		start, end int
+		text       string
+	}
+	seen := make(map[span]bool)
+	var spans []span
+	for _, e := range edits {
+		ps, pe := fset.Position(e.Pos), fset.Position(e.End)
+		if ps.Filename != path || pe.Filename != path {
+			return nil, 0, fmt.Errorf("lint: edit for %s targets %s", path, ps.Filename)
+		}
+		s := span{start: ps.Offset, end: pe.Offset, text: e.NewText}
+		if s.start < 0 || s.end < s.start || s.end > len(data) {
+			return nil, 0, fmt.Errorf("lint: edit out of range in %s", path)
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		spans = append(spans, s)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start > spans[j].start })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].end > spans[i-1].start {
+			return nil, 0, fmt.Errorf("lint: overlapping fixes in %s at offset %d", path, spans[i].end)
+		}
+	}
+	for _, s := range spans {
+		data = append(data[:s.start], append([]byte(s.text), data[s.end:]...)...)
+	}
+	return data, len(spans), nil
+}
+
+// preallocFix builds the capacity-hint rewrite for an append-in-loop finding
+// when the hint is provable: the append target is a plain local declared in
+// this unit as `var x []T` or `x := []T{}` outside any loop, and the
+// innermost loop around the append ranges over a side-effect-free expression
+// Y — then the declaration becomes `x := make([]T, 0, len(Y))`. Anything
+// less certain gets no fix.
+func preallocFix(pass *Pass, unit ast.Node, call *ast.CallExpr) *SuggestedFix {
+	g := cfg.FuncGraph(unit)
+	body := unitBody(unit)
+	if g == nil || body == nil {
+		return nil
+	}
+	target, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tobj := pass.Pkg.Info.Uses[target]
+	if tobj == nil {
+		return nil
+	}
+	rng := innermostRange(body, call.Pos())
+	if rng == nil || !sideEffectFree(rng.X) {
+		return nil
+	}
+	// The range loop must enclose the append, and each iteration must be
+	// able to append at most... (one append per element is the common shape;
+	// len(Y) is a hint, not a bound, so any append pattern is safe).
+	hint := "len(" + exprString(pass, rng.X) + ")"
+
+	// Find the declaration of the target in this unit, outside any loop.
+	var fix *SuggestedFix
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fix != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			if s != unit {
+				return false
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || len(gd.Specs) != 1 {
+				return true
+			}
+			vs, ok := gd.Specs[0].(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || len(vs.Values) != 0 || vs.Type == nil {
+				return true
+			}
+			if vs.Names[0].Name != target.Name || pass.Pkg.Info.Defs[vs.Names[0]] != tobj {
+				return true
+			}
+			if !isSliceType(vs.Type) || g.LoopDepthAt(s.Pos()) != 0 {
+				return true
+			}
+			typ := exprString(pass, vs.Type)
+			fix = &SuggestedFix{
+				Message: fmt.Sprintf("declare %s with capacity %s", target.Name, hint),
+				Edits: []TextEdit{{
+					Pos:     s.Pos(),
+					End:     s.End(),
+					NewText: fmt.Sprintf("%s := make(%s, 0, %s)", target.Name, typ, hint),
+				}},
+			}
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok || id.Name != target.Name || pass.Pkg.Info.Defs[id] != tobj {
+				return true
+			}
+			cl, ok := s.Rhs[0].(*ast.CompositeLit)
+			if !ok || len(cl.Elts) != 0 || !isSliceType(cl.Type) || g.LoopDepthAt(s.Pos()) != 0 {
+				return true
+			}
+			typ := exprString(pass, cl.Type)
+			fix = &SuggestedFix{
+				Message: fmt.Sprintf("declare %s with capacity %s", target.Name, hint),
+				Edits: []TextEdit{{
+					Pos:     s.Rhs[0].Pos(),
+					End:     s.Rhs[0].End(),
+					NewText: fmt.Sprintf("make(%s, 0, %s)", typ, hint),
+				}},
+			}
+		}
+		return true
+	})
+	return fix
+}
+
+func isSliceType(e ast.Expr) bool {
+	at, ok := e.(*ast.ArrayType)
+	return ok && at.Len == nil
+}
+
+// innermostRange returns the smallest RangeStmt containing pos.
+func innermostRange(body *ast.BlockStmt, pos token.Pos) *ast.RangeStmt {
+	var best *ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok && rng.Pos() <= pos && pos < rng.End() {
+			if best == nil || (rng.End()-rng.Pos()) < (best.End()-best.Pos()) {
+				best = rng
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// sideEffectFree reports whether evaluating e twice is safe: identifiers,
+// selectors, and parenthesized forms of those.
+func sideEffectFree(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return sideEffectFree(x.X)
+	}
+	return false
+}

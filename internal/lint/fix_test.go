@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fixSampleSrc = `package fixsample
+
+import "context"
+
+func consume(ctx context.Context, n int) int { return n }
+
+func Collect(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+func Drive(ctx context.Context, n int) int {
+	return consume(context.Background(), n)
+}
+`
+
+// fixSampleGolden is fixSampleSrc after wise-lint -fix: the append target
+// gains a capacity hint and the discarded context is threaded through.
+const fixSampleGolden = `package fixsample
+
+import "context"
+
+func consume(ctx context.Context, n int) int { return n }
+
+func Collect(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+func Drive(ctx context.Context, n int) int {
+	return consume(ctx, n)
+}
+`
+
+// TestApplyFixesGolden applies the suggested fixes of a fixture package and
+// compares the rewritten file against the golden output, then re-runs the
+// analyzers on the fixed file to prove the rewrite is idempotent: zero
+// findings, zero further writes.
+func TestApplyFixesGolden(t *testing.T) {
+	m := repoModule(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.go")
+	if err := os.WriteFile(path, []byte(fixSampleSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{HotAllocAnalyzer, CtxPropagateAnalyzer}
+
+	// The fixture uses a costmodel-scoped path so hotalloc runs but the
+	// perf/ml loop-cancellation check does not.
+	pkg, err := m.LoadExtraDir(dir, "wise/internal/costmodel/fixsample1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackage(m, pkg, analyzers)
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings before fixing, got %v", findings)
+	}
+	for _, f := range findings {
+		if f.Fix == nil {
+			t.Fatalf("finding has no fix: %s", f)
+		}
+	}
+	write := func(p string, data []byte) error { return os.WriteFile(p, data, 0o644) }
+	results, err := ApplyFixes(m.Fset, findings, write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Applied == 0 || len(results[0].Skipped) != 0 {
+		t.Fatalf("unexpected fix results: %+v", results)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != fixSampleGolden {
+		t.Fatalf("fixed file mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, fixSampleGolden)
+	}
+
+	// Idempotency: the fixed file yields no findings, so a second -fix pass
+	// writes nothing.
+	pkg2, err := m.LoadExtraDir(dir, "wise/internal/costmodel/fixsample2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := RunPackage(m, pkg2, analyzers)
+	if len(again) != 0 {
+		t.Fatalf("fixed file still has findings: %v", again)
+	}
+	wrote := false
+	if _, err := ApplyFixes(m.Fset, again, func(string, []byte) error { wrote = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if wrote {
+		t.Fatal("second fix pass wrote a file")
+	}
+}
+
+const fixRefuseSrc = `package refuse
+
+func Scratch(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 4)
+		buf[0] = i
+		t += buf[0]
+	}
+	return t
+}
+
+func Gather(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`
+
+// TestApplyFixesRefusesMixedFile checks that a file containing any finding
+// without a mechanical fix is left untouched even when other findings in it
+// are fixable.
+func TestApplyFixesRefusesMixedFile(t *testing.T) {
+	m := repoModule(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refuse.go")
+	if err := os.WriteFile(path, []byte(fixRefuseSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.LoadExtraDir(dir, "wise/internal/costmodel/refusesample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackage(m, pkg, []*Analyzer{HotAllocAnalyzer})
+	var fixable, unfixable int
+	for _, f := range findings {
+		if f.Fix != nil {
+			fixable++
+		} else {
+			unfixable++
+		}
+	}
+	if fixable == 0 || unfixable == 0 {
+		t.Fatalf("fixture needs both fixable and unfixable findings, got %v", findings)
+	}
+	results, err := ApplyFixes(m.Fset, findings, func(string, []byte) error {
+		t.Fatal("write called for a refused file")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Applied != 0 || len(results[0].Skipped) == 0 {
+		t.Fatalf("unexpected fix results: %+v", results)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != fixRefuseSrc {
+		t.Fatal("refused file was modified")
+	}
+}

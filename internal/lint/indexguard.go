@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"wise/internal/lint/cfg"
+)
+
+// IndexGuardAnalyzer protects the SpMV kernels from the one class of memory
+// error matrix data can cause: indexing an external slice (the x/y vectors,
+// a permutation, a scratch buffer) with a value loaded from RowPtr/ColIdx.
+// Those values come from parsed matrix files, so a corrupt or adversarial
+// input drives the index anywhere; every such access must be dominated by a
+// bounds validation — a comparison involving len(<indexed slice>) or a call
+// to a validation helper — on every path from the function entry (dominance
+// comes from the CFG layer, taint from cfg.Derived). Indexing the format's
+// own arrays (f.Vals[j], f.ColIdx[j]) is exempt: their lengths are coupled
+// to RowPtr by construction.
+var IndexGuardAnalyzer = &Analyzer{
+	Name: "indexguard",
+	Doc:  "flags kernel indexing with RowPtr/ColIdx-derived values that lacks a dominating bounds validation",
+	Run:  runIndexGuard,
+}
+
+func inKernelScope(path string) bool {
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if s == "internal" && i+1 < len(segs) && segs[i+1] == "kernels" {
+			return true
+		}
+	}
+	return false
+}
+
+// matrixDataName reports whether a field or variable name is a row-pointer
+// or column-index array.
+func matrixDataName(name string) bool {
+	switch strings.ToLower(name) {
+	case "rowptr", "colidx":
+		return true
+	}
+	return false
+}
+
+func runIndexGuard(pass *Pass) {
+	if !inKernelScope(pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkIndexGuards(pass, fd)
+		}
+	}
+}
+
+// seedExpr reports whether e reads matrix data directly: an identifier or
+// selector named rowPtr/colIdx (any case).
+func seedExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return matrixDataName(x.Name)
+	case *ast.SelectorExpr:
+		return matrixDataName(x.Sel.Name)
+	}
+	return false
+}
+
+func checkIndexGuards(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	g := cfg.FuncGraph(fd)
+	if g == nil {
+		return
+	}
+	derived := cfg.Derived(fd, info, seedExpr)
+	guards := guardBlocks(pass, g)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if !indexIsTainted(info, derived, ix.Index) {
+			return true
+		}
+		if ownArrayAccess(info, ix.X) {
+			return true
+		}
+		base := exprString(pass, ix.X)
+		ixBlock := g.BlockOf(ix.Pos())
+		if ixBlock != nil && dominatedByGuard(g, guards, base, ixBlock) {
+			return true
+		}
+		depth := 0
+		if ixBlock != nil {
+			depth = g.LoopDepth(ixBlock)
+		}
+		pass.Reportf(ix.Pos(),
+			"indexing %q with a RowPtr/ColIdx-derived value (loop depth %d) without a dominating bounds check; validate len(%s) against the matrix dims before the loop",
+			base, depth, base)
+		return true
+	})
+}
+
+// indexIsTainted reports whether the index expression reads matrix data
+// directly or through a derived local.
+func indexIsTainted(info *types.Info, derived map[types.Object]bool, index ast.Expr) bool {
+	tainted := false
+	ast.Inspect(index, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && seedExpr(e) {
+			tainted = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && derived[obj] {
+				tainted = true
+				return false
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// ownArrayAccess exempts indexing into the matrix format's own arrays: a
+// selector whose base struct also carries the RowPtr/ColIdx fields, so its
+// lengths are construction invariants of the same value.
+func ownArrayAccess(info *types.Info, base ast.Expr) bool {
+	sel, ok := ast.Unparen(base).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if matrixDataName(st.Field(i).Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardBlocks maps each basic block to the printed slice expressions it
+// validates: operands of len(...) inside a comparison, plus a wildcard for
+// calls to validation helpers (Validate/Check/Bounds in the name).
+type guardSet struct {
+	byBlock map[*cfg.Block]map[string]bool
+	anyLen  map[*cfg.Block]bool // block calls a validation helper
+}
+
+func guardBlocks(pass *Pass, g *cfg.Graph) *guardSet {
+	gs := &guardSet{
+		byBlock: make(map[*cfg.Block]map[string]bool),
+		anyLen:  make(map[*cfg.Block]bool),
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.BinaryExpr:
+					for _, side := range []ast.Expr{x.X, x.Y} {
+						if call, ok := ast.Unparen(side).(*ast.CallExpr); ok {
+							if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 {
+								if gs.byBlock[b] == nil {
+									gs.byBlock[b] = make(map[string]bool)
+								}
+								gs.byBlock[b][exprString(pass, call.Args[0])] = true
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if id := calleeFunc(x); id != nil {
+						name := id.Name
+						if strings.Contains(name, "Valid") || strings.Contains(name, "Check") || strings.Contains(name, "Bounds") {
+							gs.anyLen[b] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return gs
+}
+
+// dominatedByGuard reports whether some block dominating ix validates the
+// indexed slice.
+func dominatedByGuard(g *cfg.Graph, gs *guardSet, base string, ixBlock *cfg.Block) bool {
+	for b, exprs := range gs.byBlock {
+		if exprs[base] && g.Dominates(b, ixBlock) {
+			return true
+		}
+	}
+	for b := range gs.anyLen {
+		if g.Dominates(b, ixBlock) {
+			return true
+		}
+	}
+	return false
+}

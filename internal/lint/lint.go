@@ -34,16 +34,24 @@ func All() []*Analyzer {
 		GoroutineSafetyAnalyzer,
 		ErrDropAnalyzer,
 		AtomicWriteAnalyzer,
+		HotAllocAnalyzer,
+		CtxPropagateAnalyzer,
+		FaultSiteAnalyzer,
+		IndexGuardAnalyzer,
 	}
 }
 
-// Finding is one reported violation.
+// Finding is one reported violation. Fix, when non-nil, is a
+// machine-applicable edit that resolves the finding (applied by
+// wise-lint -fix); it is deliberately excluded from the JSON report.
 type Finding struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+
+	Fix *SuggestedFix `json:"-"`
 }
 
 // String renders the finding in the file:line: [analyzer] message form the
@@ -52,11 +60,14 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. Mod is the whole loaded
+// module, for analyzers that need cross-package facts (faultsite reads the
+// injection-site registry; ctxpropagate resolves module-internal callees).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	Mod      *Module
 
 	findings *[]Finding
 }
@@ -69,6 +80,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportfFix records a finding at pos carrying a machine-applicable fix.
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.Reportf(pos, format, args...)
+	(*p.findings)[len(*p.findings)-1].Fix = fix
+}
+
+// ReportAt records a finding at an explicit file position, for checks whose
+// evidence lives outside the parsed file set (faultsite scans raw _test.go
+// files, which the loader excludes by design).
+func (p *Pass) ReportAt(file string, line, col int, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     file,
+		Line:     line,
+		Col:      col,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -135,11 +165,13 @@ func suppressed(f Finding, dirs []ignoreDirective) bool {
 }
 
 // RunPackage runs the given analyzers over one package and returns the
-// unsuppressed findings, sorted by position.
+// unsuppressed findings, sorted by position. Directives that suppress
+// nothing any of the run analyzers reported are themselves flagged by the
+// unusedignore mini-check, so stale suppressions cannot linger.
 func RunPackage(m *Module, pkg *Package, analyzers []*Analyzer) []Finding {
 	var raw []Finding
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: m.Fset, Pkg: pkg, findings: &raw}
+		pass := &Pass{Analyzer: a, Fset: m.Fset, Pkg: pkg, Mod: m, findings: &raw}
 		a.Run(pass)
 	}
 	var meta []Finding // malformed-directive findings are never suppressible
@@ -153,7 +185,42 @@ func RunPackage(m *Module, pkg *Package, analyzers []*Analyzer) []Finding {
 			out = append(out, f)
 		}
 	}
+	out = append(out, unusedIgnores(dirs, raw, analyzers)...)
 	sortFindings(out)
+	return out
+}
+
+// unusedIgnores reports //lint:ignore directives that suppressed nothing.
+// Only directives naming an analyzer that actually ran are judged (a partial
+// run must not flag directives for analyzers it skipped), and wildcard
+// directives are exempt — they are rare and carry their own rationale.
+func unusedIgnores(dirs []ignoreDirective, raw []Finding, analyzers []*Analyzer) []Finding {
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	var out []Finding
+	for _, d := range dirs {
+		if d.analyzer == "*" || !active[d.analyzer] {
+			continue
+		}
+		used := false
+		for _, f := range raw {
+			if suppressed(f, []ignoreDirective{d}) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, Finding{
+				Analyzer: "unusedignore",
+				File:     d.file,
+				Line:     d.line,
+				Col:      1,
+				Message:  fmt.Sprintf("//lint:ignore %s suppresses nothing; remove the stale directive", d.analyzer),
+			})
+		}
+	}
 	return out
 }
 

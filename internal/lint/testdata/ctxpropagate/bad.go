@@ -1,0 +1,32 @@
+// Fixture: true positives for the ctxpropagate analyzer.
+//
+//lint:path wise/internal/perf/lintfixture
+package lintfixture
+
+import "context"
+
+// step is a module-declared, context-accepting pipeline stage.
+func step(ctx context.Context, i int) int { return i }
+
+// stage is a module-declared, context-blind pipeline stage.
+func stage(i int) int { return i }
+
+func badDiscardsCtx(ctx context.Context, n int) int {
+	return step(context.Background(), n) // want ctxpropagate
+}
+
+func badTODOCtx(ctx context.Context, n int) int {
+	return step(context.TODO(), n) // want ctxpropagate
+}
+
+func badNilCtx(ctx context.Context, n int) int {
+	return step(nil, n) // want ctxpropagate
+}
+
+func badUncancellableLoop(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs { // want ctxpropagate
+		s += stage(x)
+	}
+	return s
+}

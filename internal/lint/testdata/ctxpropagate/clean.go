@@ -1,0 +1,74 @@
+// Fixture: true negatives for the ctxpropagate analyzer — propagated and
+// derived contexts, done-channel receives, channel-range loops, and loops
+// that never call into the pipeline.
+package lintfixture
+
+import "context"
+
+func cleanPassesCtx(ctx context.Context, n int) int {
+	return step(ctx, n)
+}
+
+func cleanLoopChecksErr(ctx context.Context, xs []int) (int, error) {
+	s := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s += stage(x)
+	}
+	return s, nil
+}
+
+func cleanDerivedCtx(ctx context.Context, xs []int) int {
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s := 0
+	for _, x := range xs {
+		select {
+		case <-ictx.Done():
+			return s
+		default:
+		}
+		s += stage(x)
+	}
+	return s
+}
+
+func cleanDoneChannel(ctx context.Context, xs []int) int {
+	done := ctx.Done()
+	s := 0
+	for _, x := range xs {
+		select {
+		case <-done:
+			return s
+		default:
+		}
+		s += stage(x)
+	}
+	return s
+}
+
+func cleanCtxThroughCallee(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += step(ctx, x) // callee owns cancellation
+	}
+	return s
+}
+
+func cleanChanRange(ctx context.Context, ch <-chan int) int {
+	s := 0
+	for x := range ch { // drained by the sender; receive is the signal
+		s += stage(x)
+	}
+	return s
+}
+
+func cleanLocalLoop(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x * x // no pipeline calls; nothing to cancel
+	}
+	return s
+}

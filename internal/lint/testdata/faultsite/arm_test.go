@@ -1,0 +1,8 @@
+// Fixture test file: the analyzer scans _test.go text for fault-spec strings
+// (the loader never type-checks this file). The specs below arm the sites the
+// clean fixture uses and reference one site that is not in the registry.
+package faultfixture
+
+const armedSpecs = "resilience.atomic.write:error,resilience.atomic.rename:shortwrite"
+
+const staleSpec = "faultfixture.gone.site:panic" // want faultsite

@@ -1,0 +1,26 @@
+// Fixture: true positives for the faultsite analyzer. The sites used here
+// resolve against the real faultinject.Registry of the module.
+package faultfixture
+
+import "wise/internal/resilience/faultinject"
+
+func badNonLiteral(site string) error {
+	return faultinject.Hit(site) // want faultsite
+}
+
+func badUnregistered() error {
+	return faultinject.Hit("faultfixture.unknown.site") // want faultsite
+}
+
+func badUnarmed() error {
+	// Registered, but no test in this fixture package arms it.
+	return faultinject.Hit("perf.label.interrupt") // want faultsite
+}
+
+func firstUse() error {
+	return faultinject.Hit("resilience.atomic.write")
+}
+
+func badDuplicate() error {
+	return faultinject.Hit("resilience.atomic.write") // want faultsite
+}

@@ -1,0 +1,9 @@
+// Fixture: true negatives for the faultsite analyzer — a literal, registered,
+// unique, test-armed site.
+package faultfixture
+
+import "wise/internal/resilience/faultinject"
+
+func cleanRegisteredArmed() error {
+	return faultinject.Hit("resilience.atomic.rename")
+}

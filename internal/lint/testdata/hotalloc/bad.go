@@ -1,0 +1,55 @@
+// Fixture: true positives for the hotalloc analyzer.
+//
+//lint:path wise/internal/costmodel/lintfixture
+package lintfixture
+
+import "fmt"
+
+func badMakeInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want hotalloc
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+func badClosureInLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		double := func() int { return x * 2 } // want hotalloc
+		s += double()
+	}
+	return s
+}
+
+func badSprintfInLoop(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("x%d", x)) // want hotalloc
+	}
+	return out
+}
+
+func badAppendNoPrealloc(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x) // want hotalloc
+		}
+	}
+	return out
+}
+
+func badNestedDepth(grid [][]int) int {
+	s := 0
+	for _, row := range grid {
+		for range row {
+			scratch := make(map[int]bool) // want hotalloc
+			scratch[s] = true
+			s += len(scratch)
+		}
+	}
+	return s
+}

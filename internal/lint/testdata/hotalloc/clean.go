@@ -1,0 +1,69 @@
+// Fixture: true negatives for the hotalloc analyzer — hoisted buffers,
+// preallocated appends, retained results, terminating paths, spawned
+// goroutines, and a working suppression.
+package lintfixture
+
+import (
+	"fmt"
+	"sync"
+)
+
+func cleanHoisted(n int) int {
+	buf := make([]int, 8)
+	total := 0
+	for i := 0; i < n; i++ {
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+func cleanPreallocAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func cleanRetainedRows(xs []int) [][]int {
+	out := make([][]int, 0, len(xs))
+	for _, x := range xs {
+		row := []int{x} // retained: appended into the result
+		out = append(out, row)
+	}
+	return out
+}
+
+func cleanPanicPath(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			detail := make([]byte, 16)
+			detail[0] = 'n'
+			panic(string(detail))
+		}
+		s += x
+	}
+	return s
+}
+
+func cleanSpawned(xs []int) {
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func cleanSuppressed(xs []int) string {
+	s := ""
+	for _, x := range xs {
+		//lint:ignore hotalloc fixture exercises a suppression with a rationale
+		s += fmt.Sprint(x)
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+// Fixture: true positives for the indexguard analyzer.
+//
+//lint:path wise/internal/kernels/lintfixture
+package lintfixture
+
+// format mimics a sparse-matrix structure: RowPtr/ColIdx values come from
+// parsed input files.
+type format struct {
+	RowPtr []int64
+	ColIdx []int32
+	Vals   []float64
+}
+
+func badUnguarded(f *format, x, y []float64) {
+	for i := 0; i < len(f.RowPtr)-1; i++ {
+		for k := f.RowPtr[i]; k < f.RowPtr[i+1]; k++ {
+			y[i] += f.Vals[k] * x[f.ColIdx[k]] // want indexguard
+		}
+	}
+}
+
+func badDerivedLocal(f *format, x []float64) float64 {
+	var s float64
+	for i := 0; i < len(f.RowPtr)-1; i++ {
+		start := f.RowPtr[i]
+		end := f.RowPtr[i+1]
+		for k := start; k < end; k++ {
+			c := f.ColIdx[k]
+			s += x[c] // want indexguard
+		}
+	}
+	return s
+}

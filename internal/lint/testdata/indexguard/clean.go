@@ -1,0 +1,44 @@
+// Fixture: true negatives for the indexguard analyzer — dominating len
+// guards, validation helpers, and the format's own construction-coupled
+// arrays.
+package lintfixture
+
+func cleanLenGuarded(f *format, x, y []float64, cols int) {
+	if len(x) < cols {
+		panic("x shorter than the matrix columns")
+	}
+	for i := 0; i < len(f.RowPtr)-1; i++ {
+		for k := f.RowPtr[i]; k < f.RowPtr[i+1]; k++ {
+			y[i] += f.Vals[k] * x[f.ColIdx[k]]
+		}
+	}
+}
+
+func checkBounds(f *format, n int) {
+	for _, c := range f.ColIdx {
+		if int(c) >= n {
+			panic("column index out of range")
+		}
+	}
+}
+
+func cleanHelperValidated(f *format, x []float64) float64 {
+	checkBounds(f, len(x))
+	var s float64
+	for i := 0; i < len(f.RowPtr)-1; i++ {
+		for k := f.RowPtr[i]; k < f.RowPtr[i+1]; k++ {
+			s += x[f.ColIdx[k]]
+		}
+	}
+	return s
+}
+
+func cleanOwnArrays(f *format) float64 {
+	var s float64
+	for i := 0; i < len(f.RowPtr)-1; i++ {
+		for k := f.RowPtr[i]; k < f.RowPtr[i+1]; k++ {
+			s += f.Vals[k] * float64(f.ColIdx[k])
+		}
+	}
+	return s
+}

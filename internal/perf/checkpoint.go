@@ -94,7 +94,7 @@ func LabelCorpusRun(ctx context.Context, cfg LabelConfig, corpus []gen.Labeled) 
 		}
 	}
 
-	var pending []int
+	pending := make([]int, 0, len(corpus))
 	for i := range corpus {
 		if !done[i] {
 			pending = append(pending, i)
@@ -118,7 +118,7 @@ func LabelCorpusRun(ctx context.Context, cfg LabelConfig, corpus []gen.Labeled) 
 		if cfg.Checkpoint == "" {
 			return nil
 		}
-		var completed []MatrixLabels
+		completed := make([]MatrixLabels, 0, len(corpus))
 		for i := range corpus {
 			if done[i] {
 				completed = append(completed, out[i])
@@ -179,7 +179,7 @@ func LabelCorpusRun(ctx context.Context, cfg LabelConfig, corpus []gen.Labeled) 
 		every = DefaultCheckpointEvery
 	}
 	sinceFlush := 0
-	var quarantined []labelResult
+	quarantined := make([]labelResult, 0, len(pending))
 	interrupted := false
 	var flushErr error
 	for r := range results {
@@ -210,6 +210,7 @@ func LabelCorpusRun(ctx context.Context, cfg LabelConfig, corpus []gen.Labeled) 
 	}
 
 	sort.Slice(quarantined, func(a, b int) bool { return quarantined[a].i < quarantined[b].i })
+	run.Quarantined = make([]QuarantinedMatrix, 0, len(quarantined))
 	for _, r := range quarantined {
 		run.Quarantined = append(run.Quarantined, QuarantinedMatrix{
 			Name:  corpus[r.i].Name,
@@ -217,6 +218,7 @@ func LabelCorpusRun(ctx context.Context, cfg LabelConfig, corpus []gen.Labeled) 
 			Err:   r.err.Error(),
 		})
 	}
+	run.Labels = make([]MatrixLabels, 0, len(corpus))
 	for i := range corpus {
 		if done[i] {
 			run.Labels = append(run.Labels, out[i])

@@ -87,6 +87,7 @@ func SaveLabels(path string, labels []MatrixLabels) error {
 // encodeLabels renders the gzipped-JSON payload of a labels artifact.
 func encodeLabels(labels []MatrixLabels) ([]byte, error) {
 	out := persistedLabels{Version: 1}
+	out.Labels = make([]persistedLabel, 0, len(labels))
 	for _, l := range labels {
 		pl := persistedLabel{
 			Name: l.Name, Class: string(l.Class),
@@ -101,6 +102,7 @@ func encodeLabels(labels []MatrixLabels) ([]byte, error) {
 			IEPrep:        l.IEPrepCycles,
 			IEMethod:      toPersistedMethod(l.IEMethod),
 		}
+		pl.Methods = make([]persistedLabelMethod, 0, len(l.Methods))
 		for i, m := range l.Methods {
 			pm := toPersistedMethod(m)
 			pm.Cycles = l.Cycles[i]
@@ -158,7 +160,7 @@ func LoadLabels(path string) ([]MatrixLabels, error) {
 	if in.Version != 1 {
 		return nil, fmt.Errorf("perf: %s: unsupported label file version %d", path, in.Version)
 	}
-	var out []MatrixLabels
+	out := make([]MatrixLabels, 0, len(in.Labels))
 	for _, pl := range in.Labels {
 		l := MatrixLabels{
 			Name: pl.Name, Class: gen.Class(pl.Class),
@@ -175,6 +177,12 @@ func LoadLabels(path string) ([]MatrixLabels, error) {
 			IEPrepCycles:  pl.IEPrep,
 			IEMethod:      pl.IEMethod.method(),
 		}
+		n := len(pl.Methods)
+		l.Methods = make([]kernels.Method, 0, n)
+		l.Cycles = make([]float64, 0, n)
+		l.RelTime = make([]float64, 0, n)
+		l.Classes = make([]int, 0, n)
+		l.PrepCost = make([]float64, 0, n)
 		for _, pm := range pl.Methods {
 			l.Methods = append(l.Methods, pm.method())
 			l.Cycles = append(l.Cycles, pm.Cycles)

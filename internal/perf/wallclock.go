@@ -92,7 +92,11 @@ func measurePass(f kernels.Format, y, x []float64, cfg WallClockConfig) (best, m
 	if budget <= 0 {
 		budget = DefaultMeasureBudget
 	}
-	var samples []time.Duration
+	capHint := cfg.MinRuns
+	if capHint < 16 {
+		capHint = 16
+	}
+	samples := make([]time.Duration, 0, capHint)
 	var accumulated time.Duration
 	for {
 		t0 := time.Now()

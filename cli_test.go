@@ -1,18 +1,23 @@
 package wise
 
-// End-to-end integration tests of the five CLI tools: each binary is built
+// End-to-end integration tests of the six CLI tools: each binary is built
 // once into a shared temp dir and exercised the way a user would chain them
-// (generate -> features -> train -> predict -> bench).
+// (generate -> features -> train -> predict -> bench -> serve).
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 var (
@@ -31,7 +36,7 @@ func buildCLIs(t *testing.T) string {
 			return
 		}
 		cliDir = dir
-		for _, tool := range []string{"wise-gen", "wise-features", "wise-train", "wise-predict", "wise-bench"} {
+		for _, tool := range []string{"wise-gen", "wise-features", "wise-train", "wise-predict", "wise-bench", "wise-serve"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			cmd.Dir = "."
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -241,6 +246,8 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bench unknown experiment", "wise-bench", []string{"-small", "-exp", "nonsense"}, nil, 2, "unknown experiment"},
 		{"gen unknown kind", "wise-gen", []string{"-kind", "nonsense"}, nil, 2, "unknown generator"},
 		{"bad fault spec", "wise-train", []string{"-small"}, []string{"WISE_FAULTS=not-a-spec"}, 2, "WISE_FAULTS"},
+		{"serve stray arg", "wise-serve", []string{"stray"}, nil, 2, "usage"},
+		{"serve missing models", "wise-serve", []string{"-models", filepath.Join(tmp, "nope.json")}, nil, 1, "-models"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -299,6 +306,89 @@ func TestCLITrainInterruptResume(t *testing.T) {
 	}
 	if !bytes.Equal(ref, got) {
 		t.Errorf("resumed models differ from uninterrupted run (%d vs %d bytes)", len(got), len(ref))
+	}
+}
+
+// TestCLIServeLifecycle boots wise-serve on an ephemeral port, answers a
+// real prediction over HTTP, then sends SIGTERM: the server must drain and
+// exit 130 (the interrupted-after-cleanup contract shared by all wise
+// CLIs). A bad -addr must fail startup with exit 1 naming the flag.
+func TestCLIServeLifecycle(t *testing.T) {
+	tmp := t.TempDir()
+	models := filepath.Join(tmp, "models.json")
+	runCLI(t, "wise-train", "-small", "-folds", "2", "-out", models)
+	mtx := filepath.Join(tmp, "m.mtx")
+	runCLI(t, "wise-gen", "-kind", "banded", "-rows", "512", "-degree", "4", "-out", mtx)
+
+	out, code := runCLIExit(t, nil, "wise-serve", "-models", models, "-addr", "not-an-addr")
+	if code != 1 || !strings.Contains(out, "-addr") {
+		t.Fatalf("bad -addr: exit %d, want 1 naming the flag\n%s", code, out)
+	}
+
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, "wise-serve"), "-models", models, "-addr", "127.0.0.1:0")
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // no-op once Wait has reaped a clean exit
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line from wise-serve; stderr:\n%s", errBuf.String())
+	}
+	line := sc.Text()
+	var url string
+	for _, f := range strings.Fields(line) {
+		if strings.HasPrefix(f, "http://") {
+			url = f
+		}
+	}
+	if url == "" {
+		t.Fatalf("startup line has no listen URL: %q", line)
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained after the banner
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+	body, err := os.ReadFile(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(url+"/predict", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /predict: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"method"`) {
+		t.Fatalf("/predict: status %d body %s", resp.StatusCode, data)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 130 {
+			t.Fatalf("after SIGTERM: %v (stderr: %s), want exit 130", err, errBuf.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("wise-serve did not exit after SIGTERM")
 	}
 }
 

@@ -10,10 +10,13 @@
 // counters (core.selections, kernels.spmv_calls, format builds).
 //
 // Exit codes (RESILIENCE.md): 0 success, 1 I/O failure (unreadable or
-// corrupt model/matrix file, named in the error), 2 usage error.
+// corrupt model/matrix file, named in the error) or -timeout overrun,
+// 2 usage error, 130 interrupted by SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +27,16 @@ import (
 	"wise/internal/machine"
 	"wise/internal/matrix"
 	"wise/internal/obs"
+	"wise/internal/resilience"
 	"wise/internal/resilience/faultinject"
 )
 
 // Exit codes, shared by the wise CLIs and documented in RESILIENCE.md.
 const (
-	exitOK    = 0
-	exitIO    = 1
-	exitUsage = 2
+	exitOK          = 0
+	exitIO          = 1
+	exitUsage       = 2
+	exitInterrupted = 130 // SIGINT/SIGTERM during prediction (128+SIGINT)
 )
 
 func main() {
@@ -43,6 +48,7 @@ func run() int {
 		models  = flag.String("models", "models.json", "trained model file from wise-train")
 		runSel  = flag.Bool("run", false, "run SpMV with the selected method and verify against CSR")
 		explain = flag.Bool("explain", false, "print the decision path of the selected method's model")
+		timeout = flag.Duration("timeout", 0, "abort prediction after this long (0 = no deadline)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -73,7 +79,26 @@ func run() int {
 	}
 	fmt.Printf("matrix: %d x %d, %d nonzeros\n", m.Rows, m.Cols, m.NNZ())
 
-	sel := w.Select(m)
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sel, err := w.SelectCtx(ctx, m)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "wise-predict: prediction exceeded -timeout %s: %v\n", *timeout, err)
+			return exitIO
+		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "wise-predict: interrupted")
+			return exitInterrupted
+		}
+		fmt.Fprintf(os.Stderr, "wise-predict: %v\n", err)
+		return exitIO
+	}
 	fmt.Println("predicted speedup classes (C0 slowest .. C6 fastest):")
 	for i, model := range w.Models {
 		marker := " "

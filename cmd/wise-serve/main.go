@@ -1,0 +1,119 @@
+// wise-serve runs the fault-tolerant inference server (internal/serve):
+// POST a MatrixMarket matrix to /predict and get the selected SpMV method
+// as JSON. The server bounds concurrent work (429 + Retry-After when
+// saturated), degrades to the CSR fallback instead of failing when the
+// predictor errors or overruns the request deadline, trips a circuit
+// breaker under repeated predictor failures, and hot-reloads the model
+// file on SIGHUP or mtime change with rollback on a corrupt file.
+//
+//	wise-serve -models models.json -addr 127.0.0.1:8080
+//	curl -sS --data-binary @matrix.mtx http://127.0.0.1:8080/predict
+//
+// /healthz, /readyz, and /metricz expose liveness, readiness, and the obs
+// metric snapshot. The shared observability flags (-v, -metrics,
+// -cpuprofile, -memprofile) are documented in OBSERVABILITY.md.
+//
+// Exit codes (RESILIENCE.md): 0 never in normal operation (the server runs
+// until signalled), 1 startup or listener failure naming the offending
+// flag, 2 usage error, 130 after SIGINT/SIGTERM once in-flight requests
+// have drained.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"wise/internal/machine"
+	"wise/internal/obs"
+	"wise/internal/resilience"
+	"wise/internal/resilience/faultinject"
+	"wise/internal/serve"
+)
+
+// Exit codes, shared by the wise CLIs and documented in RESILIENCE.md.
+const (
+	exitOK          = 0
+	exitIO          = 1
+	exitUsage       = 2
+	exitInterrupted = 130 // SIGINT/SIGTERM after drain (128+SIGINT)
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		models      = flag.String("models", "models.json", "trained model file from wise-train; reloaded on SIGHUP or mtime change")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request prediction deadline before degrading to the CSR fallback")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent predictions (0 = 2x GOMAXPROCS)")
+		maxQueue    = flag.Int("queue", 0, "max requests waiting for a slot (0 = same as -max-inflight)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max time a request waits in the queue before shedding with 429")
+		maxBody     = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+		drain       = flag.Duration("drain", 5*time.Second, "shutdown budget for in-flight requests after SIGINT/SIGTERM")
+		reloadPoll  = flag.Duration("reload-poll", 2*time.Second, "model-file change poll interval (negative disables polling)")
+		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive predictor failures that trip the circuit breaker")
+		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long the tripped breaker stays open before probing")
+	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "wise-serve: usage: wise-serve [-addr host:port] [-models file] (no positional arguments)")
+		return exitUsage
+	}
+	if err := faultinject.ConfigureFromEnv(os.Getenv); err != nil {
+		fmt.Fprintf(os.Stderr, "wise-serve: %v\n", err)
+		return exitUsage
+	}
+	finishObs := obsFlags.MustStart()
+	defer func() {
+		if err := finishObs(); err != nil {
+			fmt.Fprintf(os.Stderr, "wise-serve: %v\n", err)
+		}
+	}()
+
+	s, err := serve.New(serve.Config{
+		ModelPath:        *models,
+		Mach:             machine.Scaled(),
+		MaxInFlight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		QueueWait:        *queueWait,
+		RequestTimeout:   *timeout,
+		MaxBodyBytes:     *maxBody,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		ReloadPoll:       *reloadPoll,
+		DrainTimeout:     *drain,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wise-serve: loading -models %s: %v\n", *models, err)
+		return exitIO
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wise-serve: listening on -addr %s: %v\n", *addr, err)
+		return exitIO
+	}
+	// The resolved address (not the flag) so port 0 is usable by scripts.
+	fmt.Printf("wise-serve: listening on http://%s (%d models from %s)\n",
+		ln.Addr(), s.ModelCount(), *models)
+
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	err = s.Serve(ctx, ln)
+	if errors.Is(err, context.Canceled) {
+		fmt.Println("wise-serve: drained, shutting down")
+		return exitInterrupted
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wise-serve: %v\n", err)
+		return exitIO
+	}
+	return exitOK
+}

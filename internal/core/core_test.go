@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"wise/internal/costmodel"
@@ -117,6 +121,71 @@ func TestPredictAndSelectEndToEnd(t *testing.T) {
 		if c < 0 || c >= perf.NumClasses {
 			t.Fatalf("class %d out of range", c)
 		}
+	}
+}
+
+// SelectCtx must agree with Select under a live context and surface the
+// context error when cancelled — the degradation trigger wise-serve relies
+// on.
+func TestSelectCtx(t *testing.T) {
+	labels := getLabels(t)
+	w, err := Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.Fig1Example()
+	sel, err := w.SelectCtx(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := w.Select(m); sel.Index != want.Index || sel.Method != want.Method {
+		t.Errorf("SelectCtx picked %v, Select picked %v", sel.Method, want.Method)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.SelectCtx(ctx, m); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled SelectCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// Every Load failure branch must name the offending path (exit-code
+// contract, RESILIENCE.md): the CLI and server print these errors verbatim
+// and the operator needs to know which file is bad.
+func TestLoadErrorsNamePath(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", "this is not a model file"},
+		{"methods vs trees", `{"machine":"x","feature_k":64,"methods":[{"kind":0}],"trees":[]}`},
+		{"no models", `{"machine":"x","feature_k":64,"methods":[],"trees":[]}`},
+		{"bad tree", `{"machine":"x","feature_k":64,"methods":[{"kind":0}],"trees":[{"bogus":1}]}`},
+		{"bad method", `{"machine":"x","feature_k":64,"methods":[{"kind":99}],"trees":[{"root":{"feature":0,"class":0},"num_classes":7}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(tmp, strings.ReplaceAll(tc.name, " ", "-")+".json")
+			if err := os.WriteFile(path, []byte(tc.data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Load(path, machine.Scaled())
+			if err == nil {
+				t.Fatal("corrupt model file accepted")
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error does not name %s: %v", path, err)
+			}
+		})
+	}
+	// The enveloped-but-corrupt branch too.
+	path := filepath.Join(tmp, "torn.json")
+	if err := os.WriteFile(path, []byte("#wise-artifact v1 kind=wise-models payload-version=1 sha256=00 bytes=5\nxxxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, machine.Scaled()); err == nil || !strings.Contains(err.Error(), path) {
+		t.Errorf("envelope failure does not name path: %v", err)
 	}
 }
 

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -167,6 +168,22 @@ func (w *WISE) Select(m *matrix.CSR) Selection {
 	return w.SelectFromFeatures(f)
 }
 
+// SelectCtx is Select with cancellation threaded through feature extraction
+// — the shared deadline-aware entry point of wise-serve requests and
+// wise-predict -timeout. On cancellation or deadline overrun it returns the
+// context's error (unwrappable to context.Canceled / DeadlineExceeded) and
+// an empty Selection; callers degrade to their CSR fallback.
+func (w *WISE) SelectCtx(ctx context.Context, m *matrix.CSR) (Selection, error) {
+	f, err := features.ExtractCtx(ctx, m, w.FeatureCfg)
+	if err != nil {
+		return Selection{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Selection{}, fmt.Errorf("core: select: %w", err)
+	}
+	return w.SelectFromFeatures(f), nil
+}
+
 // SelectFromFeatures picks the best method for precomputed features.
 func (w *WISE) SelectFromFeatures(f features.Features) Selection {
 	selections.Inc()
@@ -247,11 +264,14 @@ func (w *WISE) Save(path string) error {
 // Enveloped files are checksum-verified; raw JSON files from before the
 // envelope era load through the legacy path.
 func Load(path string, mach machine.Machine) (*WISE, error) {
+	// Every failure branch names path: Load errors surface verbatim in CLI
+	// and server startup messages, and the exit-code contract (RESILIENCE.md)
+	// requires the offending file in the error.
 	env, raw, err := resilience.ReadArtifact(path, modelsArtifactKind)
 	data := env.Payload
 	if err != nil {
 		if !errors.Is(err, resilience.ErrNotEnveloped) {
-			return nil, fmt.Errorf("core: loading models: %w", err)
+			return nil, fmt.Errorf("core: loading models %s: %w", path, err)
 		}
 		data = raw // legacy pre-envelope models.json: raw JSON
 	}
@@ -260,20 +280,23 @@ func Load(path string, mach machine.Machine) (*WISE, error) {
 		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
 	}
 	if len(p.Methods) != len(p.Trees) {
-		return nil, fmt.Errorf("core: %d methods vs %d trees", len(p.Methods), len(p.Trees))
+		return nil, fmt.Errorf("core: %s: %d methods vs %d trees", path, len(p.Methods), len(p.Trees))
+	}
+	if len(p.Methods) == 0 {
+		return nil, fmt.Errorf("core: %s: no models in file", path)
 	}
 	w := &WISE{Mach: mach, FeatureCfg: features.Config{K: p.FeatureK}}
 	for i, pm := range p.Methods {
 		tree, err := ml.UnmarshalTree(p.Trees[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: tree %d: %w", i, err)
+			return nil, fmt.Errorf("core: %s: tree %d: %w", path, i, err)
 		}
 		method := kernels.Method{
 			Kind: kernels.Kind(pm.Kind), Sched: kernels.Sched(pm.Sched),
 			C: pm.C, Sigma: pm.Sigma, T: pm.T,
 		}
 		if err := method.Validate(); err != nil {
-			return nil, fmt.Errorf("core: model %d: %w", i, err)
+			return nil, fmt.Errorf("core: %s: model %d: %w", path, i, err)
 		}
 		w.Models = append(w.Models, Model{Method: method, Tree: tree})
 	}

@@ -6,6 +6,7 @@
 package features
 
 import (
+	"context"
 	"fmt"
 
 	"wise/internal/matrix"
@@ -70,8 +71,27 @@ func (f Features) Get(name string) float64 {
 // 4 x len(GroupSizes) grouped variants.
 func FeatureCount() int { return 3 + 5*8 + 4 + 4*len(GroupSizes) }
 
+// ctxCheckRows is the cancellation-check stride of the extraction loops: a
+// ctx.Err() poll every 2^12 rows keeps deadline overruns bounded to one
+// stride of work without measurable cost on the hot path.
+const ctxCheckRows = 1 << 12
+
 // Extract computes the full WISE feature vector of a matrix.
 func Extract(m *matrix.CSR, cfg Config) Features {
+	f, err := ExtractCtx(context.Background(), m, cfg)
+	if err != nil {
+		// Unreachable: ExtractCtx fails only on ctx cancellation, and the
+		// background context is never cancelled.
+		panic(err)
+	}
+	return f
+}
+
+// ExtractCtx is Extract with cancellation threaded through the row-scan
+// loops, for callers with deadlines (wise-serve requests, wise-predict
+// -timeout). On cancellation it returns ctx's error; the partial vector is
+// discarded.
+func ExtractCtx(ctx context.Context, m *matrix.CSR, cfg Config) (Features, error) {
 	if cfg.K < 1 {
 		cfg.K = 1
 	}
@@ -101,6 +121,9 @@ func Extract(m *matrix.CSR, cfg Config) Features {
 	add("nnz", float64(nnz))
 
 	// (2) Skew: R and C distributions.
+	if err := ctx.Err(); err != nil {
+		return Features{}, fmt.Errorf("features: extract: %w", err)
+	}
 	rowCounts := m.RowCounts()
 	colCounts := m.ColCounts()
 	addSummary("R", stats.Summarize(rowCounts))
@@ -112,6 +135,9 @@ func Extract(m *matrix.CSR, cfg Config) Features {
 	rbCounts := make([]int64, t.kr)
 	cbCounts := make([]int64, t.kc)
 	for i := 0; i < m.Rows; i++ {
+		if i%ctxCheckRows == 0 && ctx.Err() != nil {
+			return Features{}, fmt.Errorf("features: extract: %w", ctx.Err())
+		}
 		tr := i / t.tileRows
 		cols, _ := m.Row(i)
 		rbCounts[tr] += int64(len(cols))
@@ -126,8 +152,14 @@ func Extract(m *matrix.CSR, cfg Config) Features {
 	addSummary("CB", stats.Summarize(cbCounts))
 
 	// Tile-layout features: unique rows/cols and reuse potential.
-	rowSide := rowSideCounts(m, t)
-	colSide := colSideCounts(m, t)
+	rowSide, err := rowSideCounts(ctx, m, t)
+	if err != nil {
+		return Features{}, err
+	}
+	colSide, err := colSideCounts(ctx, m, t)
+	if err != nil {
+		return Features{}, err
+	}
 	denomNNZ := float64(nnz)
 	if nnz == 0 {
 		denomNNZ = 1
@@ -148,7 +180,7 @@ func Extract(m *matrix.CSR, cfg Config) Features {
 		add(names[2], float64(rowSide[x])/float64(maxInt(nGroupsR, 1)))
 		add(names[3], float64(colSide[x])/float64(maxInt(nGroupsC, 1)))
 	}
-	return f
+	return f, nil
 }
 
 // tiling describes the logical K x K grid over a matrix.
@@ -183,7 +215,7 @@ func newTiling(rows, cols, k int) tiling {
 // sum of GrX_uniqR_i, and divided by the group count it equals the mean
 // GrX_potReuseR. The computation streams rows in ascending order, so the
 // "last row-group seen per tile" dedupe is exact.
-func rowSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
+func rowSideCounts(ctx context.Context, m *matrix.CSR, t tiling) (map[int]int64, error) {
 	xs := append([]int{1}, GroupSizes...)
 	counts := make(map[int]int64, len(xs))
 	lastRow := make([]int64, t.kr*t.kc)
@@ -191,6 +223,9 @@ func rowSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
 		lastRow[i] = -1
 	}
 	for i := 0; i < m.Rows; i++ {
+		if i%ctxCheckRows == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("features: extract: %w", ctx.Err())
+		}
 		tr := i / t.tileRows
 		cols, _ := m.Row(i)
 		prevTC := -1
@@ -210,7 +245,7 @@ func rowSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
 			lastRow[tile] = int64(i)
 		}
 	}
-	return counts
+	return counts, nil
 }
 
 // colSideCounts mirrors rowSideCounts for columns: distinct (tile,
@@ -219,7 +254,7 @@ func rowSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
 // a function of the column, so a per-column epoch suffices; for larger X a
 // group can straddle tile-column boundaries, so the epoch array is keyed by
 // the exact (group, tileCol) pair.
-func colSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
+func colSideCounts(ctx context.Context, m *matrix.CSR, t tiling) (map[int]int64, error) {
 	counts := make(map[int]int64, 1+len(GroupSizes))
 	colEpoch := make([]int32, m.Cols)
 	pairEpochs := make([][]int32, len(GroupSizes))
@@ -229,6 +264,9 @@ func colSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
 	}
 	epoch := int32(0)
 	for trLo := 0; trLo < m.Rows; trLo += t.tileRows {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("features: extract: %w", ctx.Err())
+		}
 		epoch++
 		trHi := trLo + t.tileRows
 		if trHi > m.Rows {
@@ -252,7 +290,7 @@ func colSideCounts(m *matrix.CSR, t tiling) map[int]int64 {
 			}
 		}
 	}
-	return counts
+	return counts, nil
 }
 
 func maxInt(a, b int) int {

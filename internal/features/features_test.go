@@ -1,6 +1,8 @@
 package features
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -8,6 +10,34 @@ import (
 	"wise/internal/matrix"
 	"wise/internal/stats"
 )
+
+// TestExtractCtxCancelled pins the deadline-aware path: a pre-cancelled
+// context aborts extraction with the context's error, and the background
+// context reproduces Extract bit for bit.
+func TestExtractCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := gen.Uniform(rng, 2048, 8)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExtractCtx(ctx, m, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled extract err = %v, want context.Canceled", err)
+	}
+
+	got, err := ExtractCtx(context.Background(), m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Extract(m, DefaultConfig())
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("value count %d != %d", len(got.Values), len(want.Values))
+	}
+	for i := range got.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("feature %s differs: %v vs %v", want.Names[i], got.Values[i], want.Values[i])
+		}
+	}
+}
 
 func TestFeatureCountAndNames(t *testing.T) {
 	m := matrix.Fig1Example()
@@ -118,8 +148,14 @@ func TestUniqCountsMatchBruteForce(t *testing.T) {
 	for mi, m := range mats {
 		for _, k := range []int{4, 16, 64} {
 			tl := newTiling(m.Rows, m.Cols, k)
-			rowSide := rowSideCounts(m, tl)
-			colSide := colSideCounts(m, tl)
+			rowSide, err := rowSideCounts(context.Background(), m, tl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			colSide, err := colSideCounts(context.Background(), m, tl)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, x := range append([]int{1}, GroupSizes...) {
 				wantR, wantC := bruteForceCounts(m, tl, x)
 				if rowSide[x] != wantR {

@@ -194,7 +194,7 @@ func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
 
 // cancellationScopes are the packages whose loops run long enough that an
 // uncancellable iteration defeats checkpoint-then-exit (RESILIENCE.md).
-var cancellationScopes = map[string]bool{"ml": true, "perf": true}
+var cancellationScopes = map[string]bool{"ml": true, "perf": true, "serve": true}
 
 func inCancellationScope(path string) bool {
 	segs := strings.Split(path, "/")

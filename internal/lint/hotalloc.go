@@ -30,6 +30,7 @@ var HotAllocAnalyzer = &Analyzer{
 // performance-critical.
 var hotScopes = map[string]bool{
 	"kernels": true, "costmodel": true, "perf": true, "features": true,
+	"serve": true,
 }
 
 func inHotScope(path string) bool {

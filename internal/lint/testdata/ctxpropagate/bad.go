@@ -1,6 +1,6 @@
 // Fixture: true positives for the ctxpropagate analyzer.
 //
-//lint:path wise/internal/perf/lintfixture
+//lint:path wise/internal/serve/lintfixture
 package lintfixture
 
 import "context"

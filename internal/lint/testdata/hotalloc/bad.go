@@ -1,6 +1,6 @@
 // Fixture: true positives for the hotalloc analyzer.
 //
-//lint:path wise/internal/costmodel/lintfixture
+//lint:path wise/internal/serve/lintfixture
 package lintfixture
 
 import "fmt"

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errSaturated is returned by acquire when the server is at its in-flight
+// limit and the wait queue is full (or the queue wait elapsed); the handler
+// converts it into 429 + Retry-After.
+var errSaturated = errors.New("serve: saturated: in-flight limit and wait queue full")
+
+// admission is the server's load gate: at most cap(slots) requests run
+// concurrently, at most maxQueue more wait up to maxWait for a slot, and
+// everything beyond that is shed immediately. Waiters are the goroutines
+// blocked on the slots send, so the queue needs no separate structure — the
+// waiters counter only bounds it.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	maxWait  time.Duration
+	waiters  atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int, maxWait time.Duration) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+		maxWait:  maxWait,
+	}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue if the
+// server is busy. It fails fast with errSaturated when the queue is full or
+// the wait budget elapses, and with ctx.Err() when the caller gives up.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		inFlight.Set(float64(len(a.slots)))
+		return nil
+	default:
+	}
+	if a.maxWait <= 0 || a.waiters.Load() >= a.maxQueue {
+		return errSaturated
+	}
+	a.waiters.Add(1)
+	defer a.waiters.Add(-1)
+	t := time.NewTimer(a.maxWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		inFlight.Set(float64(len(a.slots)))
+		return nil
+	case <-t.C:
+		return errSaturated
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() {
+	<-a.slots
+	inFlight.Set(float64(len(a.slots)))
+}
+
+// retryAfterSeconds is the Retry-After hint sent with 429 responses: the
+// queue wait rounded up to a whole second, minimum 1.
+func (a *admission) retryAfterSeconds() int {
+	s := int((a.maxWait + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

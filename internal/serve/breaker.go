@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton
+// (RESILIENCE.md "Serving"): closed (predictor in use), open (fallback-only
+// after consecutive failures), half-open (one probe request tests recovery
+// after the cooldown).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker trips the predict path to fallback-only mode after threshold
+// consecutive failures, and half-opens after cooldown: exactly one probe
+// request runs the real predictor; its outcome closes or re-opens the
+// circuit. now is injectable for tests.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int  // consecutive failures while closed
+	probing   bool // a half-open probe is in flight
+	trippedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether this request may use the predictor, and whether it
+// is the half-open probe (the caller must pass probe back to report).
+func (b *breaker) allow() (usePredictor, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Sub(b.trippedAt) < b.cooldown {
+			return false, false
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return true, true
+	case breakerHalfOpen:
+		if b.probing {
+			return false, false // one probe at a time; the rest stay on fallback
+		}
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// report records a predictor outcome. Failures while closed count toward
+// the trip threshold; a failed probe re-opens the circuit and restarts the
+// cooldown; any success closes it.
+func (b *breaker) report(success, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if success {
+		b.setState(breakerClosed)
+		b.failures = 0
+		return
+	}
+	if probe || b.state == breakerHalfOpen {
+		b.setState(breakerOpen)
+		b.trippedAt = b.now()
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.setState(breakerOpen)
+		b.trippedAt = b.now()
+		breakerTrips.Inc()
+	}
+}
+
+// setState transitions the automaton and mirrors the state into the
+// serve.breaker_state gauge (0 closed, 1 half-open, 2 open). Callers hold mu.
+func (b *breaker) setState(s breakerState) {
+	b.state = s
+	breakerGauge.Set(float64(s))
+}
+
+// currentState returns the state for /readyz reporting.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

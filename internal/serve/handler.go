@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"wise/internal/core"
+	"wise/internal/matrix"
+	"wise/internal/resilience/faultinject"
+)
+
+// predictResponse is the JSON body of a /predict answer. Degraded is true
+// when the predictor could not run (breaker open, deadline overrun, or
+// prediction error) and the server answered with the CSR fallback instead —
+// a well-formed request is never turned away empty-handed.
+type predictResponse struct {
+	Method         string  `json:"method"`
+	Index          int     `json:"index"`
+	PredictedClass int     `json:"predicted_class"`
+	Classes        []int   `json:"classes,omitempty"`
+	Degraded       bool    `json:"degraded"`
+	Reason         string  `json:"reason,omitempty"`
+	Rows           int     `json:"rows"`
+	Cols           int     `json:"cols"`
+	NNZ            int     `json:"nnz"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Degradation reasons reported in predictResponse.Reason.
+const (
+	reasonBreakerOpen  = "breaker-open"
+	reasonDeadline     = "deadline"
+	reasonPredictError = "predict-error"
+)
+
+// handlePredict runs the full hardened request path: panic recovery,
+// admission, per-request deadline, bounded ingest, then the
+// breaker-guarded predictor with CSR degradation. See the package comment
+// for the ladder.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	requestsTotal.Inc()
+	defer func() {
+		if rec := recover(); rec != nil {
+			requestsPanicked.Inc()
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: fmt.Sprintf("serve: internal error: %v", rec)})
+		}
+		requestSeconds.Observe(time.Since(start).Seconds())
+	}()
+	if err := faultinject.Hit("serve.handler.panic"); err != nil {
+		panic(err)
+	}
+
+	if err := s.admit.acquire(r.Context()); err != nil {
+		if errors.Is(err, errSaturated) {
+			requestsShed.Inc()
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.admit.retryAfterSeconds()))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+			return
+		}
+		// Client went away while queued; nobody is reading the response.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	defer s.admit.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	m, err := matrix.ReadMatrixMarketLimited(
+		http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.Limits)
+	if err != nil {
+		requestsRejected.Inc()
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+
+	lm := s.models.current()
+	resp := s.selectMethod(ctx, lm, m)
+	resp.Rows, resp.Cols, resp.NNZ = m.Rows, m.Cols, m.NNZ()
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.Degraded {
+		requestsDegraded.Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// selectMethod is the degradation ladder around the predictor. The breaker
+// decides whether the predictor may run at all; if it runs and fails (error
+// or deadline overrun), the outcome feeds back into the breaker and the
+// response degrades to the fallback method of the serving generation.
+func (s *Server) selectMethod(ctx context.Context, lm *loadedModel, m *matrix.CSR) predictResponse {
+	usePredictor, probe := s.breaker.allow()
+	if !usePredictor {
+		return fallbackResponse(lm, reasonBreakerOpen)
+	}
+	sel, err := predict(ctx, lm, m)
+	s.breaker.report(err == nil, probe)
+	if err != nil {
+		reason := reasonPredictError
+		if ctx.Err() != nil {
+			reason = reasonDeadline
+		}
+		return fallbackResponse(lm, reason)
+	}
+	return predictResponse{
+		Method:         sel.Method.String(),
+		Index:          sel.Index,
+		PredictedClass: sel.PredictedClass,
+		Classes:        sel.Classes,
+	}
+}
+
+// predict runs the ctx-aware feature-extraction + tree-inference path, with
+// the two predictor fault sites in front: serve.predict.delay (armed with
+// d=... to simulate a slow predictor overrunning the deadline) and
+// serve.predict.error (a failing predictor, the breaker-trip trigger).
+func predict(ctx context.Context, lm *loadedModel, m *matrix.CSR) (core.Selection, error) {
+	if err := faultinject.Hit("serve.predict.delay"); err != nil {
+		return core.Selection{}, err
+	}
+	if err := faultinject.Hit("serve.predict.error"); err != nil {
+		return core.Selection{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Selection{}, fmt.Errorf("serve: predict: %w", err)
+	}
+	return lm.w.SelectCtx(ctx, m)
+}
+
+// fallbackResponse answers with the serving generation's lowest-
+// preprocessing-cost method (CSR in any paper-shaped model space), marked
+// degraded so clients and dashboards can see the ladder at work.
+func fallbackResponse(lm *loadedModel, reason string) predictResponse {
+	fb := lm.w.Models[lm.fallback]
+	return predictResponse{
+		Method:   fb.Method.String(),
+		Index:    lm.fallback,
+		Degraded: true,
+		Reason:   reason,
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"wise/internal/core"
+	"wise/internal/machine"
+	"wise/internal/obs"
+	"wise/internal/resilience/faultinject"
+)
+
+// loadedModel is one immutable generation of the serving model: the trained
+// framework, the precomputed index of the cheapest (CSR) method used as the
+// degradation fallback, and the file identity that mtime polling compares
+// against. Generations are swapped atomically; in-flight requests keep the
+// pointer they started with.
+type loadedModel struct {
+	w        *core.WISE
+	fallback int // index into w.Space() of the lowest-preprocessing method
+	mtime    time.Time
+	size     int64
+}
+
+// modelHolder owns the current model generation and the reload protocol:
+// core.Load validates the candidate file (envelope checksum, method
+// validation) into a fresh generation, and only a fully valid file is
+// swapped in — a corrupt file on disk leaves the previous generation
+// serving and bumps serve.model_reloads_rejected.
+type modelHolder struct {
+	path string
+	mach machine.Machine
+	cur  atomic.Pointer[loadedModel]
+}
+
+func newModelHolder(path string, mach machine.Machine) (*modelHolder, error) {
+	h := &modelHolder{path: path, mach: mach}
+	lm, err := h.load()
+	if err != nil {
+		return nil, err
+	}
+	h.cur.Store(lm)
+	return h, nil
+}
+
+// current returns the serving generation.
+func (h *modelHolder) current() *loadedModel { return h.cur.Load() }
+
+// load reads and validates the model file into a candidate generation
+// without swapping it in.
+func (h *modelHolder) load() (*loadedModel, error) {
+	fi, err := os.Stat(h.path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: models %s: %w", h.path, err)
+	}
+	w, err := core.Load(h.path, h.mach)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Models) == 0 {
+		return nil, fmt.Errorf("serve: models %s: empty model space", h.path)
+	}
+	fallback := 0
+	for i, m := range w.Models {
+		if m.Method.PreprocessRank() < w.Models[fallback].Method.PreprocessRank() {
+			fallback = i
+		}
+	}
+	return &loadedModel{w: w, fallback: fallback, mtime: fi.ModTime(), size: fi.Size()}, nil
+}
+
+// Reload validates the model file and swaps it in. On any failure —
+// including an injected serve.reload.corrupt fault standing in for a
+// half-written or truncated file — the previous generation keeps serving
+// and the rejection is counted; the error describes what was wrong.
+func (h *modelHolder) Reload() error {
+	lm, err := h.reloadCandidate()
+	if err != nil {
+		modelReloadsRejected.Inc()
+		return fmt.Errorf("serve: reload rejected, keeping previous model: %w", err)
+	}
+	h.cur.Store(lm)
+	modelReloads.Inc()
+	return nil
+}
+
+func (h *modelHolder) reloadCandidate() (*loadedModel, error) {
+	if err := faultinject.Hit("serve.reload.corrupt"); err != nil {
+		return nil, err
+	}
+	return h.load()
+}
+
+// changedOnDisk reports whether the model file's identity differs from the
+// serving generation — the mtime-poll reload trigger. Stat errors read as
+// "unchanged": a transient missing file during an external atomic replace
+// must not spam rejected reloads.
+func (h *modelHolder) changedOnDisk() bool {
+	fi, err := os.Stat(h.path)
+	if err != nil {
+		return false
+	}
+	lm := h.current()
+	return !fi.ModTime().Equal(lm.mtime) || fi.Size() != lm.size
+}
+
+// watch drives hot reload until ctx is cancelled: SIGHUP forces a reload,
+// and every poll interval the file identity is compared against the serving
+// generation. Reload failures are reported through the counter and verbose
+// log only — a bad file must never take down a serving process.
+func (h *modelHolder) watch(ctx context.Context, poll time.Duration) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	if poll <= 0 {
+		poll = time.Hour // SIGHUP-only reload; the ticker just parks
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			h.logReload(h.Reload())
+		case <-tick.C:
+			if h.changedOnDisk() {
+				h.logReload(h.Reload())
+			}
+		}
+	}
+}
+
+func (h *modelHolder) logReload(err error) {
+	if err != nil {
+		obs.Verbosef("serve: %v", err)
+		return
+	}
+	obs.Verbosef("serve: reloaded models from %s (%d models)", h.path, len(h.current().w.Models))
+}

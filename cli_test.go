@@ -7,6 +7,7 @@ package wise
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -248,6 +249,9 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad fault spec", "wise-train", []string{"-small"}, []string{"WISE_FAULTS=not-a-spec"}, 2, "WISE_FAULTS"},
 		{"serve stray arg", "wise-serve", []string{"stray"}, nil, 2, "usage"},
 		{"serve missing models", "wise-serve", []string{"-models", filepath.Join(tmp, "nope.json")}, nil, 1, "-models"},
+		{"suite unknown preset", "wise-bench", []string{"-suite", "XL"}, nil, 2, "-suite"},
+		{"compare one file", "wise-bench", []string{"-compare", filepath.Join(tmp, "only.json")}, nil, 2, "-compare"},
+		{"compare missing file", "wise-bench", []string{"-compare", filepath.Join(tmp, "nope1.json"), filepath.Join(tmp, "nope2.json")}, nil, 1, "nope1.json"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -408,5 +412,87 @@ func TestCLITrainQuarantine(t *testing.T) {
 	}
 	if _, err := os.Stat(models); err != nil {
 		t.Errorf("quarantine aborted the run: %v", err)
+	}
+}
+
+// TestCLIBenchSuiteTrajectory is the BENCHMARKS.md workflow end to end:
+// list presets, run the S suite into a BENCH file, self-compare (exit 0),
+// compare against an injected regression (exit 1), and against a future
+// schema version (exit 2, naming the file).
+func TestCLIBenchSuiteTrajectory(t *testing.T) {
+	tmp := t.TempDir()
+
+	out := runCLI(t, "wise-bench", "-suite", "-list")
+	for _, want := range []string{"preset", "S", "M", "L", "paper", "benchmarks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+
+	bench1 := filepath.Join(tmp, "BENCH_1.json")
+	out = runCLI(t, "wise-bench", "-suite", "S", "-time-scale", "0.02", "-o", bench1)
+	if !strings.Contains(out, "bench suite S") {
+		t.Errorf("suite run missing report header:\n%s", out)
+	}
+	raw, err := os.ReadFile(bench1)
+	if err != nil {
+		t.Fatalf("suite did not write %s: %v", bench1, err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH file is not JSON: %v", err)
+	}
+	if rep["schema"] != float64(1) || rep["preset"] != "S" {
+		t.Errorf("BENCH header wrong: schema=%v preset=%v", rep["schema"], rep["preset"])
+	}
+	env, ok := rep["env"].(map[string]any)
+	if !ok || env["go_version"] == "" || env["gomaxprocs"] == nil {
+		t.Errorf("BENCH env block missing: %v", rep["env"])
+	}
+
+	out, code := runCLIExit(t, nil, "wise-bench", "-compare", bench1, bench1)
+	if code != 0 {
+		t.Fatalf("self-compare exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 regressed") {
+		t.Errorf("self-compare not clean:\n%s", out)
+	}
+
+	// Inject a 10x regression into the first result and expect the gate to trip.
+	results := rep["results"].([]any)
+	first := results[0].(map[string]any)
+	first["ns_median"] = first["ns_median"].(float64) * 10
+	tampered, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench2 := filepath.Join(tmp, "BENCH_2.json")
+	if err := os.WriteFile(bench2, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runCLIExit(t, nil, "wise-bench", "-compare", bench1, bench2)
+	if code != 1 {
+		t.Fatalf("regression compare exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "regressed") || !strings.Contains(out, first["name"].(string)) {
+		t.Errorf("regression not named:\n%s", out)
+	}
+
+	// A future schema version is a usage error that names the file.
+	rep["schema"] = float64(99)
+	future, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench99 := filepath.Join(tmp, "BENCH_99.json")
+	if err := os.WriteFile(bench99, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runCLIExit(t, nil, "wise-bench", "-compare", bench1, bench99)
+	if code != 2 {
+		t.Fatalf("schema-mismatch compare exit = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "BENCH_99.json") || !strings.Contains(out, "schema") {
+		t.Errorf("schema error does not name the file:\n%s", out)
 	}
 }

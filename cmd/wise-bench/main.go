@@ -9,6 +9,12 @@
 //	wise-bench -v -metrics m.json   # live progress + per-stage metrics
 //	wise-bench -checkpoint run.ckpt # resumable labeling (RESILIENCE.md)
 //
+// It is also the performance-trajectory harness (BENCHMARKS.md):
+//
+//	wise-bench -suite S -o BENCH_1.json      # run a preset, persist the point
+//	wise-bench -list                         # presets, sizes, expected runtime
+//	wise-bench -compare old.json new.json    # diff two points; exit 1 on regression
+//
 // The expensive labeling pass (cache-simulating cost model, 29 methods per
 // matrix) can be cached across runs with -save-labels/-load-labels. The
 // observability flags (-v, -metrics, -cpuprofile, -memprofile) are shared
@@ -32,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"wise/internal/bench"
 	"wise/internal/experiments"
 	"wise/internal/gen"
 	"wise/internal/obs"
@@ -64,10 +71,18 @@ func run() int {
 		saveLabels = flag.String("save-labels", "", "after labeling, save the labeled corpus to this gzipped JSON file")
 		loadLabels = flag.String("load-labels", "", "skip labeling and reuse a corpus saved with -save-labels")
 		checkpoint = flag.String("checkpoint", "", "labeling checkpoint file for resumable runs (see RESILIENCE.md)")
+
+		suite     = flag.String("suite", "", "run the benchmark suite with this preset (S, M, L, paper; see BENCHMARKS.md)")
+		out       = flag.String("o", "", "with -suite: write the BENCH_<n>.json report here")
+		list      = flag.Bool("list", false, "print the benchmark presets (matrix counts, expected runtime) and exit")
+		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files (old new); exit 1 on regression")
+		threshold = flag.Float64("threshold", 0.20, "with -compare: relative median slowdown that counts as a regression")
+		timeScale = flag.Float64("time-scale", 1, "with -suite: multiply per-benchmark time budgets (0.1 = 10x faster smoke run)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() != 0 {
+	// -compare is the only mode taking positional arguments (old.json new.json).
+	if !*compare && flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "wise-bench: unexpected argument %q (wise-bench takes only flags)\n", flag.Arg(0))
 		return exitUsage
 	}
@@ -84,6 +99,20 @@ func run() int {
 
 	sigCtx, stop := resilience.SignalContext(context.Background())
 	defer stop()
+
+	// Harness modes (BENCHMARKS.md) run before the experiment pipeline.
+	// "-suite -list" and "-suite list" both reach the preset listing: flag
+	// parsing binds "-list" as -suite's value in the first spelling.
+	if *list || *suite == "list" || *suite == "-list" {
+		fmt.Print(bench.ListPresets())
+		return exitOK
+	}
+	if *compare {
+		return runCompare(flag.Args(), *threshold)
+	}
+	if *suite != "" {
+		return runSuiteMode(sigCtx, *suite, *out, *seed, *timeScale, *workers)
+	}
 
 	ccfg := experiments.DefaultContextConfig()
 	if *full {
@@ -258,6 +287,81 @@ func reportQuarantine(qs []perf.QuarantinedMatrix) {
 	for _, q := range qs {
 		fmt.Fprintf(os.Stderr, "  %-24s class=%-3s %s\n", q.Name, q.Class, q.Err)
 	}
+}
+
+// runSuiteMode runs the preset benchmark suite (BENCHMARKS.md): print the
+// report, optionally persist it as a BENCH_<n>.json trajectory point.
+func runSuiteMode(ctx context.Context, preset, out string, seed int64, timeScale float64, workers int) int {
+	if _, ok := bench.LookupPreset(preset); !ok {
+		fmt.Fprintf(os.Stderr, "wise-bench: unknown preset %q for -suite (have %s; -list shows details)\n",
+			preset, strings.Join(bench.PresetNames(), ", "))
+		return exitUsage
+	}
+	t0 := time.Now()
+	rep, err := bench.RunSuite(ctx, bench.SuiteConfig{
+		Preset:    preset,
+		Seed:      seed,
+		TimeScale: timeScale,
+		Workers:   workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wise-bench: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			return exitInterrupted
+		}
+		return exitIO
+	}
+	fmt.Println(rep.String())
+	if out != "" {
+		if err := rep.WriteFile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "wise-bench: -o %s: %v\n", out, err)
+			return exitIO
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d benchmark results to %s\n", len(rep.Results), out)
+	}
+	fmt.Fprintf(os.Stderr, "suite %s: %d benchmarks in %v\n", preset, len(rep.Results), time.Since(t0).Round(time.Millisecond))
+	return exitOK
+}
+
+// runCompare diffs two BENCH_*.json trajectory points. Exit codes: 0 no
+// regression, 1 regression beyond the threshold, 2 usage or schema-version
+// mismatch (the error names the offending file).
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintf(os.Stderr, "wise-bench: -compare takes exactly two files (old.json new.json), got %d\n", len(args))
+		return exitUsage
+	}
+	oldR, err := bench.ReadReport(args[0])
+	if err != nil {
+		return compareReadError(err)
+	}
+	newR, err := bench.ReadReport(args[1])
+	if err != nil {
+		return compareReadError(err)
+	}
+	cmp, err := bench.Compare(oldR, newR, bench.CompareOptions{Threshold: threshold})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wise-bench: %v\n", err)
+		return exitUsage
+	}
+	fmt.Print(cmp.String())
+	if cmp.Regressed > 0 {
+		fmt.Fprintf(os.Stderr, "wise-bench: %d benchmark(s) regressed beyond ±%.0f%% (%s -> %s)\n",
+			cmp.Regressed, threshold*100, args[0], args[1])
+		return exitIO
+	}
+	return exitOK
+}
+
+// compareReadError maps a report-read failure to the exit-code contract:
+// schema mismatches are usage errors (2, the file names the version), other
+// read failures are I/O (1).
+func compareReadError(err error) int {
+	fmt.Fprintf(os.Stderr, "wise-bench: %v\n", err)
+	if errors.Is(err, bench.ErrSchema) {
+		return exitUsage
+	}
+	return exitIO
 }
 
 func smallProbe(seed int64) gen.CorpusConfig {

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Threshold is the relative median slowdown that counts as a regression
+	// (0.20 = 20% slower). Wall-clock medians on shared CI hosts are noisy;
+	// anything inside the threshold is reported as within-noise, not failed.
+	Threshold float64
+	// FloorNs ignores benchmarks whose medians are both below this many
+	// nanoseconds: sub-microsecond timings are dominated by timer
+	// granularity and scheduler jitter, not by the code under test.
+	FloorNs float64
+}
+
+// DefaultCompareOptions returns the gate defaults: 20% threshold, 1µs floor.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{Threshold: 0.20, FloorNs: 1000}
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.20
+	}
+	if o.FloorNs < 0 {
+		o.FloorNs = 0
+	}
+	return o
+}
+
+// DeltaStatus classifies one benchmark's old-vs-new movement.
+type DeltaStatus string
+
+// Delta statuses.
+const (
+	StatusOK        DeltaStatus = "ok"        // within noise (or under the floor)
+	StatusImproved  DeltaStatus = "improved"  // faster beyond the threshold
+	StatusRegressed DeltaStatus = "regressed" // slower beyond the threshold
+	StatusAdded     DeltaStatus = "added"     // only in the new report
+	StatusRemoved   DeltaStatus = "removed"   // only in the old report
+)
+
+// Delta is one benchmark's comparison row.
+type Delta struct {
+	Name   string
+	Group  string
+	OldNs  float64 // old median; 0 when added
+	NewNs  float64 // new median; 0 when removed
+	Change float64 // (new-old)/old; 0 when added/removed
+	Status DeltaStatus
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	OldEnv, NewEnv       Env
+	Threshold            float64
+	Deltas               []Delta
+	Compared             int // benchmarks present in both reports
+	Improved, Regressed  int
+	Added, Removed       int
+	EnvChanged           bool
+	PresetChanged        bool
+	OldPreset, NewPreset string
+}
+
+// Compare diffs two reports benchmark-by-benchmark on the median. Reports
+// must share a schema version (ReadReport already pins files to the tool's
+// version; the check here guards programmatic callers). Benchmarks present
+// on one side only are reported as added/removed, which never fails the
+// gate — shape changes are visible, not fatal.
+func Compare(oldR, newR *Report, opts CompareOptions) (*Comparison, error) {
+	if oldR.Schema != newR.Schema {
+		return nil, fmt.Errorf("bench: %w: comparing schema %d against %d", ErrSchema, oldR.Schema, newR.Schema)
+	}
+	opts = opts.withDefaults()
+	c := &Comparison{
+		OldEnv: oldR.Env, NewEnv: newR.Env,
+		Threshold:     opts.Threshold,
+		EnvChanged:    oldR.Env != newR.Env,
+		PresetChanged: oldR.Preset != newR.Preset,
+		OldPreset:     oldR.Preset, NewPreset: newR.Preset,
+	}
+	newByName := make(map[string]*Result, len(newR.Results))
+	for i := range newR.Results {
+		newByName[newR.Results[i].Name] = &newR.Results[i]
+	}
+	matched := make(map[string]bool, len(oldR.Results))
+	c.Deltas = make([]Delta, 0, len(oldR.Results)+len(newR.Results))
+	for i := range oldR.Results {
+		o := &oldR.Results[i]
+		n, ok := newByName[o.Name]
+		if !ok {
+			c.Removed++
+			c.Deltas = append(c.Deltas, Delta{Name: o.Name, Group: o.Group, OldNs: o.NsMedian, Status: StatusRemoved})
+			continue
+		}
+		matched[o.Name] = true
+		c.Compared++
+		c.Deltas = append(c.Deltas, classify(o, n, opts))
+	}
+	for i := range newR.Results {
+		n := &newR.Results[i]
+		if !matched[n.Name] {
+			c.Added++
+			c.Deltas = append(c.Deltas, Delta{Name: n.Name, Group: n.Group, NewNs: n.NsMedian, Status: StatusAdded})
+		}
+	}
+	for _, d := range c.Deltas {
+		switch d.Status {
+		case StatusImproved:
+			c.Improved++
+		case StatusRegressed:
+			c.Regressed++
+		}
+	}
+	return c, nil
+}
+
+// classify turns one matched benchmark pair into a Delta.
+func classify(o, n *Result, opts CompareOptions) Delta {
+	d := Delta{Name: o.Name, Group: o.Group, OldNs: o.NsMedian, NewNs: n.NsMedian, Status: StatusOK}
+	if o.NsMedian <= 0 {
+		return d
+	}
+	d.Change = (n.NsMedian - o.NsMedian) / o.NsMedian
+	if o.NsMedian < opts.FloorNs && n.NsMedian < opts.FloorNs {
+		return d // both under the noise floor: never judged
+	}
+	switch {
+	case d.Change > opts.Threshold:
+		d.Status = StatusRegressed
+	case d.Change < -opts.Threshold:
+		d.Status = StatusImproved
+	}
+	return d
+}
+
+// String renders the comparison: one row per benchmark that moved (or
+// appeared/disappeared), then a summary line. Within-noise benchmarks are
+// counted, not listed.
+func (c *Comparison) String() string {
+	var b strings.Builder
+	if c.PresetChanged {
+		fmt.Fprintf(&b, "note: presets differ (%s vs %s); only shared benchmarks are compared\n", c.OldPreset, c.NewPreset)
+	}
+	if c.EnvChanged {
+		fmt.Fprintf(&b, "note: environments differ (old: %+v; new: %+v); absolute deltas may reflect the host, not the code\n", c.OldEnv, c.NewEnv)
+	}
+	rows := 0
+	for _, d := range c.Deltas {
+		if d.Status == StatusOK {
+			continue
+		}
+		if rows == 0 {
+			fmt.Fprintf(&b, "%-58s %12s %12s %9s  %s\n", "benchmark", "old", "new", "delta", "status")
+		}
+		rows++
+		fmt.Fprintf(&b, "%-58s %12s %12s %9s  %s\n",
+			d.Name, fmtNs(d.OldNs), fmtNs(d.NewNs), fmtChange(d), d.Status)
+	}
+	fmt.Fprintf(&b, "compared %d benchmarks: %d regressed, %d improved, %d within noise (threshold ±%.0f%%), %d added, %d removed\n",
+		c.Compared, c.Regressed, c.Improved, c.Compared-c.Regressed-c.Improved,
+		c.Threshold*100, c.Added, c.Removed)
+	return b.String()
+}
+
+// fmtChange renders a delta's relative change column.
+func fmtChange(d Delta) string {
+	if d.Status == StatusAdded || d.Status == StatusRemoved {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", d.Change*100)
+}

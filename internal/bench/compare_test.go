@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readFixture loads a golden report from testdata.
+func readFixture(t *testing.T, name string) *Report {
+	t.Helper()
+	r, err := ReadReport(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", name, err)
+	}
+	return r
+}
+
+// deltaByName finds one comparison row.
+func deltaByName(t *testing.T, c *Comparison, name string) Delta {
+	t.Helper()
+	for _, d := range c.Deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta named %q in %+v", name, c.Deltas)
+	return Delta{}
+}
+
+func TestCompareGoldenImprovement(t *testing.T) {
+	c, err := Compare(readFixture(t, "BENCH_old.json"), readFixture(t, "BENCH_improved.json"), DefaultCompareOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed != 0 || c.Improved != 1 {
+		t.Fatalf("regressed=%d improved=%d, want 0/1", c.Regressed, c.Improved)
+	}
+	d := deltaByName(t, c, "kernels/a/CSR[Dyn]/serial")
+	if d.Status != StatusImproved {
+		t.Errorf("kernel delta status = %s, want improved (−40%%)", d.Status)
+	}
+	// micro/tiny moved +80% but both medians sit under the 1µs noise floor:
+	// timer granularity, never a verdict.
+	if d := deltaByName(t, c, "micro/tiny"); d.Status != StatusOK {
+		t.Errorf("sub-floor benchmark judged %s, want ok", d.Status)
+	}
+	// convert moved +5%, inside the 20% threshold.
+	if d := deltaByName(t, c, "convert/a/SELLPACK[c=8,Dyn]"); d.Status != StatusOK {
+		t.Errorf("within-noise benchmark judged %s, want ok", d.Status)
+	}
+}
+
+func TestCompareGoldenRegression(t *testing.T) {
+	c, err := Compare(readFixture(t, "BENCH_old.json"), readFixture(t, "BENCH_regressed.json"), DefaultCompareOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed != 1 {
+		t.Fatalf("Regressed = %d, want 1", c.Regressed)
+	}
+	d := deltaByName(t, c, "kernels/a/CSR[Dyn]/serial")
+	if d.Status != StatusRegressed {
+		t.Errorf("status = %s, want regressed (+50%%)", d.Status)
+	}
+	if d.Change < 0.49 || d.Change > 0.51 {
+		t.Errorf("Change = %v, want ~0.50", d.Change)
+	}
+	if !strings.Contains(c.String(), "regressed") {
+		t.Errorf("String() does not surface the regression:\n%s", c.String())
+	}
+}
+
+func TestCompareGoldenWithinNoise(t *testing.T) {
+	c, err := Compare(readFixture(t, "BENCH_old.json"), readFixture(t, "BENCH_noise.json"), DefaultCompareOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed != 0 || c.Improved != 0 {
+		t.Fatalf("noise run judged: regressed=%d improved=%d", c.Regressed, c.Improved)
+	}
+	if c.Compared != 3 {
+		t.Errorf("Compared = %d, want 3", c.Compared)
+	}
+}
+
+func TestCompareGoldenAddedRemoved(t *testing.T) {
+	c, err := Compare(readFixture(t, "BENCH_old.json"), readFixture(t, "BENCH_reshaped.json"), DefaultCompareOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Added != 1 || c.Removed != 1 {
+		t.Fatalf("added=%d removed=%d, want 1/1", c.Added, c.Removed)
+	}
+	// Shape changes are visible but never fail the gate.
+	if c.Regressed != 0 {
+		t.Errorf("added/removed counted as regression: %d", c.Regressed)
+	}
+	if d := deltaByName(t, c, "features/b/extract"); d.Status != StatusAdded {
+		t.Errorf("new benchmark status = %s, want added", d.Status)
+	}
+	if d := deltaByName(t, c, "micro/tiny"); d.Status != StatusRemoved {
+		t.Errorf("dropped benchmark status = %s, want removed", d.Status)
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	old := readFixture(t, "BENCH_old.json")
+	other := readFixture(t, "BENCH_noise.json")
+	other.Schema = 2
+	_, err := Compare(old, other, DefaultCompareOptions())
+	if !errors.Is(err, ErrSchema) {
+		t.Fatalf("cross-schema compare error = %v, want ErrSchema", err)
+	}
+}
+
+func TestCompareCustomThreshold(t *testing.T) {
+	// At a 4% threshold the +10% kernel move in the noise fixture regresses
+	// and the −5% convert move counts as an improvement.
+	c, err := Compare(readFixture(t, "BENCH_old.json"), readFixture(t, "BENCH_noise.json"), CompareOptions{Threshold: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed != 1 || c.Improved != 1 {
+		t.Fatalf("at 4%%: regressed=%d improved=%d, want 1/1", c.Regressed, c.Improved)
+	}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOptionsWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Warmup != 0 || o.MinRuns != 1 || o.MaxRuns != 1 || o.MaxTime != time.Millisecond {
+		t.Fatalf("zero options not clamped to minimum viable loop: %+v", o)
+	}
+	o = Options{Warmup: -3, MinRuns: 5, MaxRuns: 2, MaxTime: -time.Second}.withDefaults()
+	if o.Warmup != 0 {
+		t.Errorf("negative warmup not clamped: %d", o.Warmup)
+	}
+	if o.MaxRuns != 5 {
+		t.Errorf("MaxRuns < MinRuns not raised to MinRuns: %d", o.MaxRuns)
+	}
+	if o.MaxTime != time.Millisecond {
+		t.Errorf("negative MaxTime not clamped: %v", o.MaxTime)
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	o := Options{MaxTime: time.Second}
+	if got := o.Scale(0.5).MaxTime; got != 500*time.Millisecond {
+		t.Errorf("Scale(0.5) = %v, want 500ms", got)
+	}
+	if got := o.Scale(2).MaxTime; got != 2*time.Second {
+		t.Errorf("Scale(2) = %v, want 2s", got)
+	}
+	if got := o.Scale(0).MaxTime; got != time.Second {
+		t.Errorf("Scale(0) should be ignored, got %v", got)
+	}
+	if got := o.Scale(-1).MaxTime; got != time.Second {
+		t.Errorf("Scale(-1) should be ignored, got %v", got)
+	}
+}
+
+func TestMeasureHitsMaxRuns(t *testing.T) {
+	calls := 0
+	res := Measure("t/maxruns", "test", Options{Warmup: 2, MinRuns: 1, MaxRuns: 7, MaxTime: time.Hour}, func() {
+		calls++
+	})
+	if res.Runs != 7 {
+		t.Fatalf("Runs = %d, want MaxRuns 7 (fn is trivial, budget is huge)", res.Runs)
+	}
+	if calls != 2+7 {
+		t.Errorf("fn called %d times, want warmup 2 + runs 7", calls)
+	}
+	if res.Name != "t/maxruns" || res.Group != "test" {
+		t.Errorf("name/group not carried: %+v", res)
+	}
+}
+
+func TestMeasureHonorsMinRunsOverBudget(t *testing.T) {
+	res := Measure("t/minruns", "test", Options{MinRuns: 4, MaxRuns: 100, MaxTime: time.Nanosecond}, func() {
+		time.Sleep(200 * time.Microsecond)
+	})
+	if res.Runs < 4 {
+		t.Fatalf("Runs = %d, want at least MinRuns 4 even past the budget", res.Runs)
+	}
+	if res.Runs > 5 {
+		t.Errorf("Runs = %d: budget exceeded after MinRuns but loop kept going", res.Runs)
+	}
+}
+
+func TestMeasureStatsOrdering(t *testing.T) {
+	res := Measure("t/stats", "test", Options{MinRuns: 10, MaxRuns: 10, MaxTime: time.Hour}, func() {
+		time.Sleep(50 * time.Microsecond)
+	})
+	if res.NsMin <= 0 {
+		t.Fatalf("NsMin = %v, want > 0", res.NsMin)
+	}
+	if !(res.NsMin <= res.NsMedian && res.NsMedian <= res.NsP95) {
+		t.Fatalf("stats out of order: min %v median %v p95 %v", res.NsMin, res.NsMedian, res.NsP95)
+	}
+	if res.NsMin < float64(50*time.Microsecond) {
+		t.Errorf("NsMin %v below the sleep floor of 50µs", time.Duration(res.NsMin))
+	}
+}
+
+func TestMeasureAllocsPerOp(t *testing.T) {
+	var sink []byte
+	res := Measure("t/allocs", "test", Options{MinRuns: 20, MaxRuns: 20, MaxTime: time.Hour}, func() {
+		sink = make([]byte, 1<<12)
+	})
+	_ = sink
+	if res.AllocsPerOp < 1 {
+		t.Errorf("AllocsPerOp = %v, want >= 1 for a 4KiB make per op", res.AllocsPerOp)
+	}
+	if res.BytesPerOp < 1<<12 {
+		t.Errorf("BytesPerOp = %v, want >= 4096", res.BytesPerOp)
+	}
+}

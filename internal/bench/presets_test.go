@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupPreset(t *testing.T) {
+	for _, name := range []string{"S", "s", "M", "paper", "PAPER"} {
+		if _, ok := LookupPreset(name); !ok {
+			t.Errorf("LookupPreset(%q) not found", name)
+		}
+	}
+	if _, ok := LookupPreset("XL"); ok {
+		t.Error("LookupPreset(XL) found a preset that should not exist")
+	}
+}
+
+func TestPresetsOrderedAndComplete(t *testing.T) {
+	names := PresetNames()
+	want := []string{"S", "M", "L", "paper"}
+	if len(names) != len(want) {
+		t.Fatalf("PresetNames() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("preset %d = %s, want %s", i, names[i], n)
+		}
+	}
+	for _, p := range Presets() {
+		if len(p.Matrices) == 0 {
+			t.Errorf("preset %s has no matrices", p.Name)
+		}
+		if p.MaxTime <= 0 || p.MinRuns < 1 || p.MaxRuns < p.MinRuns {
+			t.Errorf("preset %s has a degenerate budget: %+v", p.Name, p)
+		}
+		if p.Expected == "" || p.Description == "" {
+			t.Errorf("preset %s missing -list text", p.Name)
+		}
+	}
+}
+
+func TestListPresetsTable(t *testing.T) {
+	out := ListPresets()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(Presets())+1 {
+		t.Fatalf("ListPresets() has %d lines, want header + %d presets:\n%s", len(lines), len(Presets()), out)
+	}
+	for _, col := range []string{"preset", "matrices", "benchmarks", "expected"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("header missing %q: %s", col, lines[0])
+		}
+	}
+	for _, p := range Presets() {
+		if !strings.Contains(out, p.Name) || !strings.Contains(out, p.Expected) {
+			t.Errorf("ListPresets() missing row for %s:\n%s", p.Name, out)
+		}
+	}
+}
+
+func TestMatrixSpecBuildDeterministic(t *testing.T) {
+	for _, p := range Presets()[:1] { // S covers four distinct kinds
+		for _, spec := range p.Matrices {
+			a := spec.Build(p.Seed)
+			b := spec.Build(p.Seed)
+			if a.Rows != b.Rows || a.NNZ() != b.NNZ() {
+				t.Fatalf("%s: two builds differ: %dx%d nnz %d vs %dx%d nnz %d",
+					spec.Name, a.Rows, a.Cols, a.NNZ(), b.Rows, b.Cols, b.NNZ())
+			}
+			for r := 0; r <= a.Rows; r++ {
+				if a.RowPtr[r] != b.RowPtr[r] {
+					t.Fatalf("%s: row pointers diverge at row %d", spec.Name, r)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecOffsetVariesByName(t *testing.T) {
+	if specOffset("ms_r11_d8") == specOffset("rgg_r11_d6") {
+		t.Error("distinct spec names share a seed offset")
+	}
+	if specOffset("a") != specOffset("a") {
+		t.Error("specOffset is not stable")
+	}
+}
+
+func TestSortSpecsBySize(t *testing.T) {
+	specs := []MatrixSpec{{Name: "big", Rows: 100}, {Name: "small", Rows: 10}, {Name: "mid", Rows: 50}}
+	got := sortSpecsBySize(specs)
+	if got[0].Name != "small" || got[1].Name != "mid" || got[2].Name != "big" {
+		t.Errorf("sortSpecsBySize = %v", got)
+	}
+	if specs[0].Name != "big" {
+		t.Error("sortSpecsBySize mutated its input")
+	}
+}

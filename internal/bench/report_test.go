@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema: SchemaVersion, Preset: "S", Seed: 1, TimeScale: 1,
+		TakenAt: "2026-08-08T00:00:00Z", Env: CurrentEnv(),
+		Results: []Result{
+			{Name: "kernels/a/serial", Group: "kernels", Runs: 5, NsMin: 100, NsMedian: 200, NsP95: 300},
+			{Name: "convert/a", Group: "convert", Runs: 5, NsMin: 1e6, NsMedian: 2e6, NsP95: 3e6, AllocsPerOp: 9},
+		},
+	}
+}
+
+func TestReportWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_rt.json")
+	want := sampleReport()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if got.Schema != SchemaVersion || got.Preset != "S" || got.Seed != 1 {
+		t.Errorf("header not round-tripped: %+v", got)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("results count %d, want %d", len(got.Results), len(want.Results))
+	}
+	if got.Results[1].NsMedian != 2e6 || got.Results[1].AllocsPerOp != 9 {
+		t.Errorf("result fields not round-tripped: %+v", got.Results[1])
+	}
+}
+
+func TestReadReportSchemaMismatchNamesFile(t *testing.T) {
+	path := filepath.Join("testdata", "BENCH_schema99.json")
+	_, err := ReadReport(path)
+	if err == nil {
+		t.Fatal("ReadReport accepted schema version 99")
+	}
+	if !errors.Is(err, ErrSchema) {
+		t.Errorf("error does not wrap ErrSchema: %v", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+	if !strings.Contains(err.Error(), "99") {
+		t.Errorf("error does not state the file's version: %v", err)
+	}
+}
+
+func TestReadReportErrors(t *testing.T) {
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":1,"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(empty); err == nil {
+		t.Error("report with no results accepted")
+	}
+}
+
+func TestReportFindAndGroups(t *testing.T) {
+	r := sampleReport()
+	if res := r.Find("convert/a"); res == nil || res.Group != "convert" {
+		t.Errorf("Find(convert/a) = %+v", res)
+	}
+	if res := r.Find("missing"); res != nil {
+		t.Errorf("Find(missing) = %+v, want nil", res)
+	}
+	groups := r.Groups()
+	if len(groups) != 2 || groups[0] != "kernels" || groups[1] != "convert" {
+		t.Errorf("Groups() = %v", groups)
+	}
+	secs := r.GroupMedianSeconds()
+	if secs["convert"] != 2e6/1e9 {
+		t.Errorf("GroupMedianSeconds[convert] = %v", secs["convert"])
+	}
+}
+
+func TestReportStringHasHeaderAndRows(t *testing.T) {
+	s := sampleReport().String()
+	for _, want := range []string{"bench suite S", "kernels/a/serial", "convert/a", "median"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 // and measurement pipelines: every random draw must come from an explicitly
 // seeded *rand.Rand threaded through the call chain, and wall-clock time
 // must never feed seeds or results. It fires only inside the deterministic
-// packages (gen, ml, features, core, costmodel, experiments); obs/progress
+// packages (gen, ml, features, core, costmodel, experiments, bench); obs/progress
 // wall-clock use (time.Now for durations via time.Since) is inherently
 // allowed because only numeric conversions of time.Now and seeding contexts
 // are flagged.
@@ -25,6 +25,10 @@ var DeterminismAnalyzer = &Analyzer{
 var deterministicScopes = map[string]bool{
 	"gen": true, "ml": true, "features": true,
 	"core": true, "costmodel": true, "experiments": true,
+	// bench: a suite's benchmark list and matrix corpus must be functions of
+	// the preset seed alone (BENCHMARKS.md); wall-clock may only be measured,
+	// never fed back into shape or seeds.
+	"bench": true,
 }
 
 // inDeterministicScope reports whether an import path lies in one of the

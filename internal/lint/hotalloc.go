@@ -22,7 +22,7 @@ import (
 // to the prealloc-capacity rule.
 var HotAllocAnalyzer = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "flags per-iteration allocations, closures, fmt boxing, and append-without-prealloc in loops of the hot packages (kernels, costmodel, perf, features)",
+	Doc:  "flags per-iteration allocations, closures, fmt boxing, and append-without-prealloc in loops of the hot packages (kernels, costmodel, perf, features, serve, bench)",
 	Run:  runHotAlloc,
 }
 
@@ -31,6 +31,10 @@ var HotAllocAnalyzer = &Analyzer{
 var hotScopes = map[string]bool{
 	"kernels": true, "costmodel": true, "perf": true, "features": true,
 	"serve": true,
+	// bench: an allocation inside a Measure loop is attributed to the code
+	// under test (allocs/op comes from MemStats deltas), so the harness
+	// itself must not allocate per iteration.
+	"bench": true,
 }
 
 func inHotScope(path string) bool {

@@ -1,6 +1,8 @@
-// Fixture: true positives for the determinism analyzer.
+// Fixture: true positives for the determinism analyzer. Anchored under
+// internal/bench to prove the harness package is inside the deterministic
+// scope (the suite's shape must be a function of the preset seed alone).
 //
-//lint:path wise/internal/gen/lintfixture
+//lint:path wise/internal/bench/lintfixture
 package lintfixture
 
 import (

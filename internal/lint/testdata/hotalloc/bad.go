@@ -1,6 +1,8 @@
-// Fixture: true positives for the hotalloc analyzer.
+// Fixture: true positives for the hotalloc analyzer. Anchored under
+// internal/bench to prove the harness package is inside the hot scope (an
+// allocation in a Measure loop is charged to the code under test).
 //
-//lint:path wise/internal/serve/lintfixture
+//lint:path wise/internal/bench/lintfixture
 package lintfixture
 
 import "fmt"

@@ -1,7 +1,16 @@
 #!/bin/sh
-# Pre-PR gate: vet, lint, build and race-test the whole module.
-# Run from the repo root: ./scripts/check.sh
+# Pre-PR gate: vet, lint, build, race-test the whole module, and smoke-run
+# the S benchmark preset. Run from the repo root: ./scripts/check.sh
+#
+# With -bench-gate, the smoke run is additionally compared against the
+# newest committed results/BENCH_*.json and the script fails on any
+# regression beyond the comparator's noise threshold (BENCHMARKS.md).
 set -eux
+
+bench_gate=0
+if [ "${1:-}" = "-bench-gate" ]; then
+    bench_gate=1
+fi
 
 go vet ./...
 mkdir -p results
@@ -11,3 +20,19 @@ go build ./...
 # checkpoint collector, fault injection) before the full module run.
 go test -race ./internal/perf ./internal/ml ./internal/resilience/... ./internal/serve
 go test -race ./...
+
+# Benchmark smoke: the S preset must run to completion and produce a valid
+# BENCH file. The result is discarded unless -bench-gate asked for the
+# regression comparison — wall-clock on a loaded dev machine is not a gate
+# by default.
+bench_out=$(mktemp /tmp/BENCH_check.XXXXXX.json)
+go run ./cmd/wise-bench -suite S -o "$bench_out"
+if [ "$bench_gate" = 1 ]; then
+    baseline=$(ls results/BENCH_*.json 2>/dev/null | sort -V | tail -1)
+    if [ -z "$baseline" ]; then
+        echo "check.sh: -bench-gate set but no results/BENCH_*.json baseline exists" >&2
+        exit 2
+    fi
+    go run ./cmd/wise-bench -compare "$baseline" "$bench_out"
+fi
+rm -f "$bench_out"

@@ -37,7 +37,7 @@ func buildCLIs(t *testing.T) string {
 			return
 		}
 		cliDir = dir
-		for _, tool := range []string{"wise-gen", "wise-features", "wise-train", "wise-predict", "wise-bench", "wise-serve"} {
+		for _, tool := range []string{"wise-gen", "wise-features", "wise-train", "wise-predict", "wise-bench", "wise-serve", "wise-lint"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			cmd.Dir = "."
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -252,6 +252,7 @@ func TestCLIExitCodes(t *testing.T) {
 		{"suite unknown preset", "wise-bench", []string{"-suite", "XL"}, nil, 2, "-suite"},
 		{"compare one file", "wise-bench", []string{"-compare", filepath.Join(tmp, "only.json")}, nil, 2, "-compare"},
 		{"compare missing file", "wise-bench", []string{"-compare", filepath.Join(tmp, "nope1.json"), filepath.Join(tmp, "nope2.json")}, nil, 1, "nope1.json"},
+		{"lint unknown analyzer", "wise-lint", []string{"-analyzers", "foo,determinism"}, nil, 2, `unknown analyzer "foo"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wise-lint [-json file] [-sarif file] [-fix] [packages ...]
+//	wise-lint [-json file] [-sarif file] [-fix] [-analyzers a,b] [-budget d] [packages ...]
 //
 // Package patterns are directory-based: "./..." (or no arguments) lints the
 // whole module; "./internal/ml" or "./internal/..." restricts the report to
@@ -16,7 +16,12 @@
 //
 // -sarif writes the findings as a SARIF 2.1.0 log for CI code-scanning
 // upload. -fix applies the suggested fixes (capacity hints, context
-// threading), rewriting only files in which every finding has a fix.
+// threading, defer-hoisted unlocks), rewriting only files in which every
+// finding has a fix. -analyzers runs a comma-separated subset of the suite;
+// an unknown name is a usage error (exit 2) so a typo cannot pass CI
+// vacuously. -budget fails the run (exit 1) when linting takes longer than
+// the given duration; the measured wall-clock time and the budget are
+// recorded in the SARIF run properties either way.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"wise/internal/lint"
 	"wise/internal/resilience"
@@ -35,7 +41,9 @@ func main() {
 	jsonPath := flag.String("json", "", "also write findings as JSON to this file (- for stdout)")
 	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (- for stdout)")
 	fix := flag.Bool("fix", false, "apply suggested fixes; only files where every finding has a fix are rewritten")
-	list := flag.Bool("analyzers", false, "list the analyzer suite and exit")
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	subset := flag.String("analyzers", "", "comma-separated analyzer subset to run (default: the full suite)")
+	budget := flag.Duration("budget", 0, "fail if linting takes longer than this (0 = no budget)")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +53,15 @@ func main() {
 		return
 	}
 
+	// Resolve the analyzer subset before the (expensive) module load so a
+	// typo'd -analyzers flag fails fast with a usage error.
+	analyzers, err := lint.Select(*subset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wise-lint:", err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
 	mod, err := lint.LoadModule(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wise-lint:", err)
@@ -65,7 +82,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "wise-lint:", err)
 				os.Exit(2)
 			}
-			findings = append(findings, lint.RunPackage(mod, pkg, lint.All())...)
+			findings = append(findings, lint.RunPackage(mod, pkg, analyzers)...)
 			continue
 		}
 		if err := validatePattern(arg); err != nil {
@@ -75,8 +92,9 @@ func main() {
 		patterns = append(patterns, arg)
 	}
 	if len(patterns) > 0 || len(flag.Args()) == 0 {
-		findings = append(findings, filterByPatterns(lint.Run(mod, lint.All()), mod.Root, patterns)...)
+		findings = append(findings, filterByPatterns(lint.Run(mod, analyzers), mod.Root, patterns)...)
 	}
+	elapsed := time.Since(start)
 
 	if *fix {
 		os.Exit(applyFixes(mod, findings))
@@ -109,18 +127,28 @@ func main() {
 			writeReport(*jsonPath, buf.Bytes())
 		}
 		if *sarifPath != "" {
+			props := map[string]any{"wallClockSeconds": elapsed.Seconds()}
+			if *budget > 0 {
+				props["budgetSeconds"] = budget.Seconds()
+			}
 			var buf bytes.Buffer
-			if err := lint.WriteSARIF(&buf, lint.All(), rel); err != nil {
+			if err := lint.WriteSARIF(&buf, analyzers, rel, props); err != nil {
 				fmt.Fprintln(os.Stderr, "wise-lint:", err)
 				os.Exit(2)
 			}
 			writeReport(*sarifPath, buf.Bytes())
 		}
 	}
+	code := 0
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "wise-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		code = 1
 	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "wise-lint: run took %v, over the -budget of %v\n", elapsed.Round(time.Millisecond), *budget)
+		code = 1
+	}
+	os.Exit(code)
 }
 
 // writeReport writes a machine-readable report to path, with "-" meaning

@@ -13,6 +13,11 @@
 // metric snapshot. The shared observability flags (-v, -metrics,
 // -cpuprofile, -memprofile) are documented in OBSERVABILITY.md.
 //
+// The server's mutex-guarded state (the circuit breaker's automaton) is
+// annotated `// guarded by mu` and enforced statically by wise-lint's v3
+// concurrency analyzers (LINTING.md), in addition to the race-detector
+// gates in scripts/check.sh.
+//
 // Exit codes (RESILIENCE.md): 0 never in normal operation (the server runs
 // until signalled), 1 startup or listener failure naming the offending
 // flag, 2 usage error, 130 after SIGINT/SIGTERM once in-flight requests

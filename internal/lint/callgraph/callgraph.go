@@ -1,0 +1,632 @@
+// Package callgraph builds a module-wide, CHA-style call graph over the
+// packages loaded by wise-lint's stdlib-only loader, together with cheap
+// flow-insensitive per-function summaries (locks acquired/released,
+// goroutines spawned, blocking operations, writes through parameters, ctx
+// sensitivity). The lock-discipline, guardedby, goroutineescape, and
+// waitblock analyzers consume it for their interprocedural reasoning; the
+// flow-sensitive lock-held dataflow itself lives in package lint on top of
+// internal/lint/cfg.
+//
+// The package deliberately does not import package lint: like cfg, it takes
+// plain (Files, Info) inputs so the dependency arrow keeps pointing from the
+// analyzers to the engines and never back.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one type-checked package to include in the graph. It mirrors
+// the fields of lint.Package that the builder needs.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// Summary holds the flow-insensitive facts about one function body. FuncLit
+// bodies nested in the declaration are folded in, except that operations
+// inside go-spawned literals do not count toward BlocksDirect (they run on
+// another goroutine).
+type Summary struct {
+	// Acquires and Releases are the type-level lock keys (see
+	// TypeLevelLockKey) this body Lock/RLocks resp. Unlock/RUnlocks
+	// directly. Keys are deduplicated and sorted; locks with no type-level
+	// identity (locals) are omitted.
+	Acquires []string
+	Releases []string
+
+	// SpawnsGoroutine reports whether the body contains a go statement.
+	SpawnsGoroutine bool
+
+	// BlocksDirect reports whether the body itself performs a blocking
+	// synchronization op outside any go-spawned literal: WaitGroup.Wait,
+	// Cond.Wait, a bare channel send/receive, ranging over a channel, or a
+	// select without a default clause.
+	BlocksDirect bool
+
+	// WGAddParams lists the indices of *sync.WaitGroup parameters the body
+	// calls Add on. waitblock uses it to catch "wg.Add inside the spawned
+	// goroutine" through a call boundary.
+	WGAddParams []int
+
+	// WritesParams lists the indices of parameters the body writes through
+	// (pointer deref, field of a pointer, or element of a slice/map
+	// parameter). Writing the parameter variable itself is local and does
+	// not count.
+	WritesParams []int
+
+	// WritesRecv reports whether a method body writes through its receiver.
+	WritesRecv bool
+
+	// HasCtxParam reports whether the signature takes a context.Context.
+	HasCtxParam bool
+}
+
+// Node is one function declaration in the graph.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Out  []*Edge
+	In   []*Edge
+
+	// AddressTaken reports that the function is referenced somewhere other
+	// than the callee position of a call (stored, passed, returned). Such
+	// functions can be invoked from anywhere, so interprocedural
+	// assumptions (like entry-held lock sets) must not be made about them.
+	AddressTaken bool
+
+	// GoSpawned reports that some module function launches this one with a
+	// go statement (directly: go f(...) / go x.m(...)).
+	GoSpawned bool
+
+	Summary Summary
+
+	// MayBlock reports BlocksDirect here or in any callee reachable over
+	// synchronous (non-Async) edges.
+	MayBlock bool
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Site   *ast.CallExpr
+
+	// Interface marks a CHA-resolved edge: the static callee is an
+	// interface method and Callee is one of its module implementations.
+	Interface bool
+
+	// Async marks a call that does not run on the caller's goroutine: the
+	// direct call of a go statement, or any call lexically inside a
+	// go-spawned function literal.
+	Async bool
+}
+
+// Graph is the module call graph.
+type Graph struct {
+	Fset  *token.FileSet
+	Nodes []*Node
+
+	byFunc map[*types.Func]*Node
+}
+
+// NodeOf returns the node for fn, or nil if fn has no body in the graph's
+// package set.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.byFunc[fn]
+}
+
+// Build constructs the graph. Static calls resolve through types.Info; calls
+// through an interface method resolve, class-hierarchy-analysis style, to
+// every named type in pkgs that implements the interface.
+func Build(fset *token.FileSet, pkgs []*Package) *Graph {
+	g := &Graph{Fset: fset, byFunc: make(map[*types.Func]*Node)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Func: obj, Decl: fd, Pkg: p}
+				g.byFunc[obj] = n
+				g.Nodes = append(g.Nodes, n)
+			}
+		}
+	}
+	named := collectNamed(pkgs)
+	for _, n := range g.Nodes {
+		g.scan(n, named)
+	}
+	g.propagateMayBlock()
+	return g
+}
+
+// Reachable returns the set of nodes reachable from roots over Out edges
+// (both sync and async), including the roots themselves.
+func (g *Graph) Reachable(roots ...*Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var work []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			work = append(work, r)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// AcquiresClosure returns the union of Summary.Acquires over n and every
+// callee reachable from it through synchronous edges — the type-level lock
+// keys a call to n may take on the caller's goroutine.
+func (g *Graph) AcquiresClosure(n *Node) []string {
+	seen := map[*Node]bool{n: true}
+	work := []*Node{n}
+	keys := make(map[string]bool)
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, k := range cur.Summary.Acquires {
+			keys[k] = true
+		}
+		for _, e := range cur.Out {
+			if !e.Async && !seen[e.Callee] {
+				seen[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return sortedKeys(keys)
+}
+
+// propagateMayBlock runs the transitive-blocking fixpoint over sync edges.
+func (g *Graph) propagateMayBlock() {
+	for _, n := range g.Nodes {
+		n.MayBlock = n.Summary.BlocksDirect
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.MayBlock {
+				continue
+			}
+			for _, e := range n.Out {
+				if !e.Async && e.Callee.MayBlock {
+					n.MayBlock = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// collectNamed gathers every package-level named type in pkgs, for CHA
+// interface resolution.
+func collectNamed(pkgs []*Package) []*types.Named {
+	var out []*types.Named
+	for _, p := range pkgs {
+		if len(p.Files) == 0 {
+			continue
+		}
+		// All files of a package share one *types.Package; take it from
+		// Info.Defs via any file-level object by scanning the scope of the
+		// first declared object we can reach. Simpler: use the scope of the
+		// package object attached to the first file's declarations.
+		tp := typesPackage(p)
+		if tp == nil {
+			continue
+		}
+		scope := tp.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				out = append(out, named)
+			}
+		}
+	}
+	return out
+}
+
+// typesPackage digs the *types.Package out of a Package's Info (the builder
+// input deliberately omits lint.Package.Types to keep the struct minimal).
+func typesPackage(p *Package) *types.Package {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				return obj.Pkg()
+			}
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if obj := p.Info.Defs[s.Name]; obj != nil {
+						return obj.Pkg()
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if obj := p.Info.Defs[n]; obj != nil {
+							return obj.Pkg()
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scan walks one declaration body, recording edges and the summary.
+func (g *Graph) scan(n *Node, named []*types.Named) {
+	info := n.Pkg.Info
+	goBodies := spawnedLiteralBodies(n.Decl.Body)
+	inGo := func(pos token.Pos) bool {
+		for _, b := range goBodies {
+			if b.Pos() <= pos && pos < b.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Channel ops that are a select's communication clauses block (or not)
+	// as part of the select itself, not as standalone ops.
+	comms := selectCommOps(n.Decl.Body)
+
+	params, recvObj := paramObjects(n.Decl, info)
+	wgAdd := make(map[int]bool)
+	writesParam := make(map[int]bool)
+	acquires := make(map[string]bool)
+	releases := make(map[string]bool)
+	calleeIdents := make(map[*ast.Ident]bool)
+
+	addEdge := func(call *ast.CallExpr, callee *types.Func, iface, async bool) {
+		cn := g.byFunc[callee]
+		if cn == nil {
+			return
+		}
+		e := &Edge{Caller: n, Callee: cn, Site: call, Interface: iface, Async: async}
+		n.Out = append(n.Out, e)
+		cn.In = append(cn.In, e)
+	}
+
+	resolveCall := func(call *ast.CallExpr, async bool) {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			calleeIdents[fun] = true
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				addEdge(call, fn, false, async)
+			}
+		case *ast.SelectorExpr:
+			calleeIdents[fun.Sel] = true
+			fn, ok := info.Uses[fun.Sel].(*types.Func)
+			if !ok {
+				return
+			}
+			if sel, isSel := info.Selections[fun]; isSel {
+				if recvIface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+					for _, impl := range implementers(recvIface, fn.Name(), named) {
+						addEdge(call, impl, true, async)
+					}
+					return
+				}
+			}
+			addEdge(call, fn, false, async)
+		}
+	}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.GoStmt:
+			n.Summary.SpawnsGoroutine = true
+			if _, isLit := ast.Unparen(x.Call.Fun).(*ast.FuncLit); !isLit {
+				resolveCall(x.Call, true)
+				if fn := staticCallee(x.Call, info); fn != nil {
+					if cn := g.byFunc[fn]; cn != nil {
+						cn.GoSpawned = true
+					}
+				}
+				// Arguments are still evaluated synchronously; fall through
+				// to the default traversal, which revisits x.Call — skip the
+				// duplicate by returning false and walking args by hand.
+				for _, a := range x.Call.Args {
+					ast.Inspect(a, func(sub ast.Node) bool {
+						if c, ok := sub.(*ast.CallExpr); ok {
+							resolveCall(c, inGo(c.Pos()))
+						}
+						return true
+					})
+				}
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			async := inGo(x.Pos())
+			resolveCall(x, async)
+			g.summarizeCall(n, x, info, params, recvObj, wgAdd, acquires, releases, async)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !comms[x] && !inGo(x.Pos()) {
+				n.Summary.BlocksDirect = true
+			}
+		case *ast.SendStmt:
+			if !comms[x] && !inGo(x.Pos()) {
+				n.Summary.BlocksDirect = true
+			}
+		case *ast.RangeStmt:
+			if isChan(info.TypeOf(x.X)) && !inGo(x.Pos()) {
+				n.Summary.BlocksDirect = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) && !inGo(x.Pos()) {
+				n.Summary.BlocksDirect = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				recordWrite(lhs, info, params, recvObj, writesParam, n)
+			}
+		case *ast.IncDecStmt:
+			recordWrite(x.X, info, params, recvObj, writesParam, n)
+		}
+		return true
+	})
+
+	// Address-taken and ctx sensitivity.
+	sig := n.Func.Type().(*types.Signature)
+	tparams := sig.Params()
+	for i := 0; i < tparams.Len(); i++ {
+		if isContext(tparams.At(i).Type()) {
+			n.Summary.HasCtxParam = true
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok || calleeIdents[id] {
+			return true
+		}
+		if fn, isFn := info.Uses[id].(*types.Func); isFn {
+			if target := g.byFunc[fn]; target != nil {
+				target.AddressTaken = true
+			}
+		}
+		return true
+	})
+
+	n.Summary.Acquires = sortedKeys(acquires)
+	n.Summary.Releases = sortedKeys(releases)
+	n.Summary.WGAddParams = sortedInts(wgAdd)
+	n.Summary.WritesParams = sortedInts(writesParam)
+}
+
+// summarizeCall records lock and WaitGroup facts for one call site.
+func (g *Graph) summarizeCall(n *Node, call *ast.CallExpr, info *types.Info, params map[types.Object]int, recvObj types.Object, wgAdd map[int]bool, acquires, releases map[string]bool, async bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if isMutex(info.TypeOf(sel.X)) {
+			if k := TypeLevelLockKey(sel.X, info); k != "" {
+				acquires[k] = true
+			}
+		}
+	case "Unlock", "RUnlock":
+		if isMutex(info.TypeOf(sel.X)) {
+			if k := TypeLevelLockKey(sel.X, info); k != "" {
+				releases[k] = true
+			}
+		}
+	case "Wait":
+		t := info.TypeOf(sel.X)
+		if isSyncNamed(t, "WaitGroup") && !async {
+			n.Summary.BlocksDirect = true
+		}
+		// sync.Cond.Wait blocks too, but it requires holding the Cond's
+		// lock by contract, so waitblock exempts it; still a blocker.
+		if isSyncNamed(t, "Cond") && !async {
+			n.Summary.BlocksDirect = true
+		}
+	case "Add":
+		if root, _, ok := FlattenSelector(sel.X); ok {
+			obj := info.Uses[root]
+			if i, isParam := params[obj]; isParam && isSyncNamed(info.TypeOf(sel.X), "WaitGroup") && isPointer(obj.Type()) {
+				wgAdd[i] = true
+			}
+		}
+	}
+}
+
+// recordWrite marks parameter/receiver writes for the summary. Only writes
+// through the parameter (deref, field of pointer, element) count; rebinding
+// the parameter variable itself is local.
+func recordWrite(lhs ast.Expr, info *types.Info, params map[types.Object]int, recvObj types.Object, writesParam map[int]bool, n *Node) {
+	if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+		return
+	}
+	root, _, ok := FlattenSelector(lhs)
+	if !ok {
+		return
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		return
+	}
+	if i, isParam := params[obj]; isParam {
+		writesParam[i] = true
+	}
+	if recvObj != nil && obj == recvObj {
+		n.Summary.WritesRecv = true
+	}
+}
+
+// paramObjects maps each parameter's types.Object to its index, and returns
+// the receiver object (nil for plain functions).
+func paramObjects(decl *ast.FuncDecl, info *types.Info) (map[types.Object]int, types.Object) {
+	params := make(map[types.Object]int)
+	i := 0
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = i
+				}
+				i++
+			}
+		}
+	}
+	var recvObj types.Object
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		recvObj = info.Defs[decl.Recv.List[0].Names[0]]
+	}
+	return params, recvObj
+}
+
+// selectCommOps collects the channel operations that appear as select
+// communication clauses, so the blocking scan does not double-count them.
+func selectCommOps(body *ast.BlockStmt) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	ast.Inspect(body, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				out[comm] = true
+			case *ast.ExprStmt:
+				out[ast.Unparen(comm.X)] = true
+			case *ast.AssignStmt:
+				for _, r := range comm.Rhs {
+					out[ast.Unparen(r)] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// spawnedLiteralBodies returns the bodies of every function literal that is
+// the direct subject of a go statement, anywhere in body.
+func spawnedLiteralBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(node ast.Node) bool {
+		if gs, ok := node.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				out = append(out, lit.Body)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// implementers returns the concrete module methods that an interface-method
+// call may dispatch to under CHA.
+func implementers(iface *types.Interface, method string, named []*types.Named) []*types.Func {
+	var out []*types.Func
+	for _, t := range named {
+		if types.IsInterface(t) {
+			continue
+		}
+		ptr := types.NewPointer(t)
+		if !types.Implements(t, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, t.Obj().Pkg(), method)
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// staticCallee returns the *types.Func a call statically resolves to, or nil.
+func staticCallee(call *ast.CallExpr, info *types.Info) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedInts(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,245 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+const graphSrc = `package cg
+
+import (
+	"context"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+type shape interface{ area() int }
+
+type square struct{ s int }
+type circle struct{ r int }
+
+func (s square) area() int { return s.s * s.s }
+func (c *circle) area() int { return 3 * c.r * c.r }
+
+func dispatch(sh shape) int { return sh.area() }
+
+func waits(wg *sync.WaitGroup) { wg.Wait() }
+
+func callsWaits(wg *sync.WaitGroup) { callsWaitsInner(wg) }
+
+func callsWaitsInner(wg *sync.WaitGroup) { waits(wg) }
+
+func spawnsBlocker(ch chan int) {
+	go func() { <-ch }()
+}
+
+func spawnsNamed(wg *sync.WaitGroup) {
+	go waits(wg)
+}
+
+func addsWG(wg *sync.WaitGroup, n int) { wg.Add(n) }
+
+func setp(p *int, v int) { *p = v }
+
+func takesAddress() func(*sync.WaitGroup) {
+	f := waits
+	return f
+}
+
+func nonBlockingSelect(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func blockingSelect(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+func ctxUser(ctx context.Context) {}
+`
+
+func buildSrc(t *testing.T, src string) (*Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("cg", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	g := Build(fset, []*Package{{Path: "cg", Files: []*ast.File{f}, Info: info}})
+	return g, info
+}
+
+func nodeNamed(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+func TestCHAInterfaceResolution(t *testing.T) {
+	g, _ := buildSrc(t, graphSrc)
+	d := nodeNamed(t, g, "dispatch")
+	var targets []string
+	for _, e := range d.Out {
+		if !e.Interface {
+			t.Errorf("dispatch edge to %s should be an interface edge", e.Callee.Func.Name())
+		}
+		targets = append(targets, e.Callee.Func.FullName())
+	}
+	want := 2 // square.area and (*circle).area
+	if len(targets) != want {
+		t.Fatalf("dispatch should resolve to %d implementations, got %v", want, targets)
+	}
+}
+
+func TestTransitiveMayBlock(t *testing.T) {
+	g, _ := buildSrc(t, graphSrc)
+	for name, want := range map[string]bool{
+		"waits":             true,
+		"callsWaits":        true, // two hops away
+		"callsWaitsInner":   true,
+		"spawnsBlocker":     false, // blocking op is inside a go literal
+		"spawnsNamed":       false, // go waits(wg) is async
+		"nonBlockingSelect": false,
+		"blockingSelect":    true,
+		"dispatch":          false,
+	} {
+		if got := nodeNamed(t, g, name).MayBlock; got != want {
+			t.Errorf("MayBlock(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	g, _ := buildSrc(t, graphSrc)
+
+	inc := nodeNamed(t, g, "inc")
+	if want := []string{"cg.counter.mu"}; !reflect.DeepEqual(inc.Summary.Acquires, want) {
+		t.Errorf("inc Acquires = %v, want %v", inc.Summary.Acquires, want)
+	}
+	if !reflect.DeepEqual(inc.Summary.Releases, []string{"cg.counter.mu"}) {
+		t.Errorf("inc Releases = %v", inc.Summary.Releases)
+	}
+	if !inc.Summary.WritesRecv {
+		t.Error("inc should be marked WritesRecv")
+	}
+
+	if got := nodeNamed(t, g, "addsWG").Summary.WGAddParams; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("addsWG WGAddParams = %v, want [0]", got)
+	}
+	if got := nodeNamed(t, g, "setp").Summary.WritesParams; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("setp WritesParams = %v, want [0]", got)
+	}
+	sb := nodeNamed(t, g, "spawnsBlocker")
+	if !sb.Summary.SpawnsGoroutine || sb.Summary.BlocksDirect {
+		t.Errorf("spawnsBlocker: SpawnsGoroutine=%v BlocksDirect=%v, want true/false",
+			sb.Summary.SpawnsGoroutine, sb.Summary.BlocksDirect)
+	}
+	if !nodeNamed(t, g, "ctxUser").Summary.HasCtxParam {
+		t.Error("ctxUser should have HasCtxParam")
+	}
+}
+
+func TestAddressTakenAndGoSpawned(t *testing.T) {
+	g, _ := buildSrc(t, graphSrc)
+	w := nodeNamed(t, g, "waits")
+	if !w.AddressTaken {
+		t.Error("waits is stored in takesAddress and should be AddressTaken")
+	}
+	if !w.GoSpawned {
+		t.Error("waits is launched by spawnsNamed and should be GoSpawned")
+	}
+	if nodeNamed(t, g, "callsWaits").AddressTaken {
+		t.Error("callsWaits is only ever called and must not be AddressTaken")
+	}
+	// The go waits(wg) edge must be async.
+	for _, e := range nodeNamed(t, g, "spawnsNamed").Out {
+		if e.Callee == w && !e.Async {
+			t.Error("go waits(wg) edge should be Async")
+		}
+	}
+}
+
+func TestReachableAndAcquiresClosure(t *testing.T) {
+	g, _ := buildSrc(t, graphSrc)
+	cw := nodeNamed(t, g, "callsWaits")
+	reach := g.Reachable(cw)
+	if !reach[nodeNamed(t, g, "waits")] {
+		t.Error("waits should be reachable from callsWaits")
+	}
+	if reach[nodeNamed(t, g, "dispatch")] {
+		t.Error("dispatch must not be reachable from callsWaits")
+	}
+
+	// AcquiresClosure sees through call chains.
+	src := graphSrc + `
+func callsInc(c *counter) { c.inc() }
+`
+	g2, _ := buildSrc(t, src)
+	got := g2.AcquiresClosure(nodeNamed(t, g2, "callsInc"))
+	if !reflect.DeepEqual(got, []string{"cg.counter.mu"}) {
+		t.Errorf("AcquiresClosure(callsInc) = %v, want [cg.counter.mu]", got)
+	}
+}
+
+func TestMutexBearing(t *testing.T) {
+	_, info := buildSrc(t, graphSrc)
+	var counterType, squareType types.Type
+	for _, obj := range info.Defs {
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		switch tn.Name() {
+		case "counter":
+			counterType = tn.Type()
+		case "square":
+			squareType = tn.Type()
+		}
+	}
+	if counterType == nil || squareType == nil {
+		t.Fatal("fixture types not found")
+	}
+	if !MutexBearing(counterType) {
+		t.Error("counter embeds a sync.Mutex by value and must be MutexBearing")
+	}
+	if MutexBearing(squareType) {
+		t.Error("square holds no mutex")
+	}
+}

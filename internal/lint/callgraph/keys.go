@@ -1,0 +1,171 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FlattenSelector decomposes a selector chain (b.state, p.hist.mu, mu) into
+// its root identifier and the field path. It refuses anything that is not a
+// pure Ident/Selector chain (index expressions, calls, derefs of
+// non-identifiers), because those have no stable lock identity.
+func FlattenSelector(e ast.Expr) (root *ast.Ident, path []string, ok bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, path, true
+		case *ast.SelectorExpr:
+			path = append([]string{x.Sel.Name}, path...)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// RenderPath renders a selector chain as the dotted path the lock-held
+// dataflow uses as a frame-local key ("b.mu", "mu"). Returns "" when the
+// expression has no stable identity.
+func RenderPath(e ast.Expr) string {
+	root, path, ok := FlattenSelector(e)
+	if !ok {
+		return ""
+	}
+	return strings.Join(append([]string{root.Name}, path...), ".")
+}
+
+// TypeLevelLockKey names a lock expression at the type level, for facts that
+// must survive crossing a function boundary: "pkgpath.TypeName.fieldpath"
+// when the root is a variable of (a pointer to) a named struct type, or
+// "pkgpath.varname[.fieldpath]" when the root is a package-level variable.
+// Locks rooted in plain locals have no type-level identity and map to "".
+func TypeLevelLockKey(e ast.Expr, info *types.Info) string {
+	root, path, ok := FlattenSelector(e)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return ""
+	}
+	// Package-level variable: identity is the variable itself.
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		key := v.Pkg().Path() + "." + v.Name()
+		if len(path) > 0 {
+			key += "." + strings.Join(path, ".")
+		}
+		return key
+	}
+	// Local/param/receiver: identity is the named type the path starts from,
+	// when there is one and the path actually selects into it.
+	if len(path) == 0 {
+		return ""
+	}
+	named := namedOf(v.Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + strings.Join(path, ".")
+}
+
+// namedOf returns the named type of t after stripping one level of pointer,
+// or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// isMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// one.
+func isMutex(t types.Type) bool {
+	return isSyncNamed(t, "Mutex") || isSyncNamed(t, "RWMutex")
+}
+
+// isSyncNamed reports whether t (or *t) is the named type sync.<name>.
+func isSyncNamed(t types.Type, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// isChan reports whether t's underlying type is a channel.
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isPointer reports whether t's underlying type is a pointer.
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// MutexBearing reports whether t contains a sync.Mutex or sync.RWMutex by
+// value, directly or through nested (possibly embedded) struct fields.
+// Copying such a value copies the lock state — the classic copylocks bug.
+func MutexBearing(t types.Type) bool {
+	return mutexBearing(t, 0)
+}
+
+func mutexBearing(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if isMutex(t) {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if _, isPtr := ft.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if mutexBearing(ft, depth+1) {
+			return true
+		}
+	}
+	return false
+}

@@ -92,6 +92,66 @@ func guarded(p []int, n int) {
 	}
 }
 
+func deferloop(a []int) int {
+	s := 0
+	for i := range a {
+		defer sink(i)
+		s += a[i]
+	}
+	return s
+}
+
+func labeledbreak(a [][]int) int {
+	s := 0
+outer2:
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] < 0 {
+				break outer2
+			}
+			sink(j)
+			s += a[i][j]
+		}
+	}
+	return s
+}
+
+func gotoloop(n int) int {
+	s := 0
+	i := 0
+again:
+	if i < n {
+		sink(i)
+		s += i
+		i++
+		goto again
+	}
+	return s
+}
+
+func gotofwd(x int) int {
+	if x < 0 {
+		goto done
+	}
+	sink(x)
+done:
+	return x
+}
+
+func selloop(c, d chan int) int {
+	s := 0
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-c:
+			sink(v)
+			s += v
+		case <-d:
+			return s
+		}
+	}
+	return s
+}
+
 func fallthru(x int) int {
 	y := 0
 	switch x {
@@ -192,6 +252,95 @@ func TestGraphShapes(t *testing.T) {
 				t.Errorf("sink depths = %v, want %v\n%s", got, tc.sinkDepths, dumpGraph(g))
 			}
 		})
+	}
+}
+
+// TestGraphEdgeCases pins the shapes the lock-held-set dataflow
+// (internal/lint lockstate) leans on: defer inside a loop, labeled break,
+// backward and forward goto, and select inside a loop. Each case asserts the
+// back-edge and natural-loop counts, the loop depth at every sink call, and
+// the dominator invariants the lattice iteration assumes: every loop head
+// dominates every block of its loop, and the entry dominates every block
+// that carries statements.
+func TestGraphEdgeCases(t *testing.T) {
+	_, fns := parseFixture(t)
+	cases := []struct {
+		fn         string
+		backEdges  int
+		loops      int
+		sinkDepths []int
+	}{
+		{fn: "deferloop", backEdges: 1, loops: 1, sinkDepths: []int{1}},
+		{fn: "labeledbreak", backEdges: 2, loops: 2, sinkDepths: []int{2}},
+		{fn: "gotoloop", backEdges: 1, loops: 1, sinkDepths: []int{1}},
+		{fn: "gotofwd", backEdges: 0, loops: 0, sinkDepths: []int{0}},
+		{fn: "selloop", backEdges: 1, loops: 1, sinkDepths: []int{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			fd := fns[tc.fn]
+			if fd == nil {
+				t.Fatalf("fixture %s missing", tc.fn)
+			}
+			g := FuncGraph(fd)
+			if got := len(g.BackEdges()); got != tc.backEdges {
+				t.Errorf("back edges = %d, want %d\n%s", got, tc.backEdges, dumpGraph(g))
+			}
+			if got := len(g.Loops()); got != tc.loops {
+				t.Errorf("loops = %d, want %d\n%s", got, tc.loops, dumpGraph(g))
+			}
+			if got := sinkDepths(g, fd); !equalInts(got, tc.sinkDepths) {
+				t.Errorf("sink depths = %v, want %v\n%s", got, tc.sinkDepths, dumpGraph(g))
+			}
+			for _, l := range g.Loops() {
+				for _, b := range l.Blocks {
+					if !g.Dominates(l.Head, b) {
+						t.Errorf("loop head b%d must dominate loop block b%d\n%s", l.Head.Index, b.Index, dumpGraph(g))
+					}
+				}
+			}
+			for _, b := range g.Blocks {
+				if len(b.Nodes) == 0 {
+					continue
+				}
+				if !g.Dominates(g.Entry, b) {
+					t.Errorf("entry must dominate statement block b%d (%s)\n%s", b.Index, b.Kind, dumpGraph(g))
+				}
+			}
+		})
+	}
+
+	// Shape specifics. The backward goto forms a natural loop whose head is
+	// the label block; the labeled break's then-block escapes both natural
+	// loops; the select's case blocks all sit inside selloop's loop.
+	g := FuncGraph(fns["gotoloop"])
+	if n := len(g.Loops()); n == 1 {
+		if head := g.Loops()[0].Head; head.Kind != "label.again" {
+			t.Errorf("gotoloop natural-loop head = %s, want label.again\n%s", head.Kind, dumpGraph(g))
+		}
+	}
+	g = FuncGraph(fns["labeledbreak"])
+	for _, l := range g.Loops() {
+		for _, b := range l.Blocks {
+			if b.Kind == "if.then" {
+				t.Errorf("labeled-break block b%d must escape the natural loop\n%s", b.Index, dumpGraph(g))
+			}
+		}
+	}
+	g = FuncGraph(fns["selloop"])
+	if n := len(g.Loops()); n == 1 {
+		loop := g.Loops()[0]
+		cases := 0
+		for _, b := range loop.Blocks {
+			if strings.HasPrefix(b.Kind, "select.case") {
+				cases++
+			}
+		}
+		// Only the receive-and-accumulate case loops back; the returning case
+		// exits and is not part of the natural loop.
+		if cases != 1 {
+			t.Errorf("want 1 select.case block inside selloop's loop, got %d\n%s", cases, dumpGraph(g))
+		}
 	}
 }
 

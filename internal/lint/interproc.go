@@ -1,0 +1,603 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"wise/internal/lint/callgraph"
+)
+
+// This file is the interprocedural half of the v3 lock analysis: it owns the
+// module-wide callgraph, the `// guarded by` annotation registry, the
+// entry-held fixpoint (which locks a function's callers provably hold at
+// every call site), and the lock-acquisition order graph. Everything is
+// built once per Module (or once per fixture package) and shared by the
+// lockdiscipline, guardedby, goroutineescape, and waitblock analyzers.
+
+// modAnalysis is the shared interprocedural state.
+type modAnalysis struct {
+	m    *Module
+	pkgs []*Package
+
+	graph     *callgraph.Graph
+	pkgByPath map[string]*Package
+
+	// guarded maps an annotated struct field to its guard; badGuards are
+	// malformed annotations, reported by the guardedby analyzer.
+	guarded   map[*types.Var]guardSpec
+	badGuards []badGuard
+
+	// entryHeld[fn] is the lock set (in fn's own frame: receiver-rooted and
+	// package-level keys) that every module call site of fn provably holds.
+	// Absent means empty. Exported, address-taken, and go-spawned functions
+	// are pinned to empty — they can be entered from anywhere.
+	entryHeld  map[*types.Func]map[string]heldLock
+	entryKnown map[*types.Func]bool
+
+	units map[*Package][]*lockUnit
+
+	orderEdges []orderEdge
+
+	mu    sync.Mutex
+	flows map[ast.Node]*unitFlow
+
+	invOnce    sync.Once
+	inversions []inversion
+}
+
+// guardSpec describes one `// guarded by <lock>` annotation.
+type guardSpec struct {
+	lock   string // field name on the same struct, or package-level var name
+	global bool   // lock is a package-level variable
+	owner  string // struct type name, for messages
+}
+
+type badGuard struct {
+	pos    token.Pos
+	file   string
+	reason string
+}
+
+// orderEdge records "to was acquired while from was held" at pos, in
+// type-level lock keys.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// inversion is one lock-order cycle observation: at pos, `to` is acquired
+// while `from` is held, but elsewhere (counter) the opposite order exists.
+type inversion struct {
+	from, to string
+	pos      token.Pos
+	counter  token.Pos
+}
+
+// analysisFor returns the interprocedural state for the module pkg belongs
+// to. Module packages share one lazily-built analysis; fixture packages
+// (LoadExtraDir/LoadFixture) get their own, built over module+fixture.
+func (m *Module) analysisFor(pkg *Package) *modAnalysis {
+	if m.byPath[pkg.Path] == pkg {
+		m.analysisOnce.Do(func() {
+			m.analysis = buildAnalysis(m, m.Packages)
+		})
+		return m.analysis
+	}
+	m.extraMu.Lock()
+	defer m.extraMu.Unlock()
+	if m.extraAnalyses == nil {
+		m.extraAnalyses = make(map[*Package]*modAnalysis)
+	}
+	if a := m.extraAnalyses[pkg]; a != nil {
+		return a
+	}
+	pkgs := make([]*Package, 0, len(m.Packages)+1)
+	pkgs = append(pkgs, m.Packages...)
+	pkgs = append(pkgs, pkg)
+	a := buildAnalysis(m, pkgs)
+	m.extraAnalyses[pkg] = a
+	return a
+}
+
+func buildAnalysis(m *Module, pkgs []*Package) *modAnalysis {
+	a := &modAnalysis{
+		m:          m,
+		pkgs:       pkgs,
+		pkgByPath:  make(map[string]*Package, len(pkgs)),
+		guarded:    make(map[*types.Var]guardSpec),
+		entryHeld:  make(map[*types.Func]map[string]heldLock),
+		entryKnown: make(map[*types.Func]bool),
+		units:      make(map[*Package][]*lockUnit),
+		flows:      make(map[ast.Node]*unitFlow),
+	}
+	cgPkgs := make([]*callgraph.Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		a.pkgByPath[p.Path] = p
+		cgPkgs = append(cgPkgs, &callgraph.Package{Path: p.Path, Files: p.Files, Info: p.Info})
+		for _, f := range p.Files {
+			a.units[p] = append(a.units[p], unitsOf(p.Info, f)...)
+		}
+	}
+	a.graph = callgraph.Build(m.Fset, cgPkgs)
+	a.collectGuarded()
+	a.computeEntryHeld()
+	a.computeOrderEdges()
+	return a
+}
+
+// flowFor returns the (cached) dataflow of one unit.
+func (a *modAnalysis) flowFor(pkg *Package, u *lockUnit) *unitFlow {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if f := a.flows[u.root()]; f != nil {
+		return f
+	}
+	f := computeFlow(pkg.Info, u)
+	a.flows[u.root()] = f
+	return f
+}
+
+// heldAt returns the locks provably held (must-analysis) at pos in unit u:
+// the unit's own acquisitions plus, for declaration bodies, the entry-held
+// set of the declared function.
+func (a *modAnalysis) heldAt(pkg *Package, u *lockUnit, pos token.Pos) map[string]heldLock {
+	held := a.flowFor(pkg, u).heldAtLocal(pos)
+	if u.isDecl() && u.fn != nil {
+		for k, v := range a.entryHeld[u.fn] {
+			if _, ok := held[k]; !ok {
+				held[k] = v
+			}
+		}
+	}
+	return held
+}
+
+// mayHeldAt is heldAt over the may lattice (held on SOME path).
+func (a *modAnalysis) mayHeldAt(pkg *Package, u *lockUnit, pos token.Pos) map[string]bool {
+	may := a.flowFor(pkg, u).mayHeldAtLocal(pos)
+	if u.isDecl() && u.fn != nil {
+		for k := range a.entryHeld[u.fn] {
+			may[k] = true
+		}
+	}
+	return may
+}
+
+// unitAt returns the innermost unit of decl containing pos.
+func (a *modAnalysis) unitAt(pkg *Package, decl *ast.FuncDecl, pos token.Pos) *lockUnit {
+	var best *lockUnit
+	for _, u := range a.units[pkg] {
+		if u.decl != decl {
+			continue
+		}
+		if u.lit == nil {
+			if best == nil {
+				best = u
+			}
+			continue
+		}
+		if pos >= u.lit.Body.Pos() && pos < u.lit.Body.End() {
+			if best == nil || best.lit == nil || (u.lit.End()-u.lit.Pos()) < (best.lit.End()-best.lit.Pos()) {
+				best = u
+			}
+		}
+	}
+	return best
+}
+
+// --- entry-held fixpoint ---
+
+// entryEligible reports whether fn may carry a non-empty entry-held set:
+// module-internal, never stored or spawned, with at least one call site.
+func (a *modAnalysis) entryEligible(n *callgraph.Node) bool {
+	name := n.Func.Name()
+	if n.Decl.Recv == nil && (name == "main" || name == "init") {
+		return false
+	}
+	if ast.IsExported(name) {
+		return false // callable from tests and future code without locks
+	}
+	if n.AddressTaken || n.GoSpawned {
+		return false
+	}
+	return len(n.In) > 0
+}
+
+// siteHeld returns the caller-frame lock set provably held at one call
+// edge's site. ok is false while the caller's own entry set is still ⊤
+// during the fixpoint.
+func (a *modAnalysis) siteHeld(e *callgraph.Edge) (map[string]heldLock, bool) {
+	pkg := a.pkgByPath[e.Caller.Pkg.Path]
+	if pkg == nil {
+		return map[string]heldLock{}, true
+	}
+	u := a.unitAt(pkg, e.Caller.Decl, e.Site.Pos())
+	if u == nil {
+		return map[string]heldLock{}, true
+	}
+	held := a.flowFor(pkg, u).heldAtLocal(e.Site.Pos())
+	if u.isDecl() {
+		if !a.entryKnown[e.Caller.Func] {
+			return nil, false
+		}
+		for k, v := range a.entryHeld[e.Caller.Func] {
+			if _, ok := held[k]; !ok {
+				held[k] = v
+			}
+		}
+	}
+	return held, true
+}
+
+// translateHeld maps a caller-frame held set into the callee's frame:
+// receiver-rooted keys follow the call's receiver expression, package-level
+// keys survive same-package calls. Everything else is dropped.
+func translateHeld(held map[string]heldLock, e *callgraph.Edge) map[string]heldLock {
+	out := make(map[string]heldLock)
+	callee := e.Callee
+	if callee.Decl.Recv != nil && len(callee.Decl.Recv.List) == 1 && len(callee.Decl.Recv.List[0].Names) == 1 {
+		recvName := callee.Decl.Recv.List[0].Names[0].Name
+		if sel, ok := ast.Unparen(e.Site.Fun).(*ast.SelectorExpr); ok {
+			if base := callgraph.RenderPath(sel.X); base != "" && recvName != "" && recvName != "_" {
+				for k, v := range held {
+					if strings.HasPrefix(k, base+".") {
+						out[recvName+strings.TrimPrefix(k, base)] = v
+					}
+				}
+			}
+		}
+	}
+	if callee.Pkg.Path == e.Caller.Pkg.Path {
+		for k, v := range held {
+			if v.Global {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func intersectHeld(a, b map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			v := va
+			v.Write = va.Write && vb.Write
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func heldEqual(a, b map[string]heldLock) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if ov, ok := b[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// computeEntryHeld runs the optimistic decreasing fixpoint: every eligible
+// function starts at ⊤ (unknown) and is repeatedly met (set-intersection)
+// with the translated held sets of its call sites until stable. Functions
+// still ⊤ afterwards sit in call cycles unreachable from any root; they get
+// the safe empty set.
+func (a *modAnalysis) computeEntryHeld() {
+	var eligible []*callgraph.Node
+	for _, n := range a.graph.Nodes {
+		if a.entryEligible(n) {
+			eligible = append(eligible, n)
+		} else {
+			a.entryKnown[n.Func] = true // pinned empty
+		}
+	}
+	const maxIter = 20
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, n := range eligible {
+			var meet map[string]heldLock
+			have := false
+			for _, e := range n.In {
+				held, ok := a.siteHeld(e)
+				if !ok {
+					continue // ⊤ contribution: meet identity
+				}
+				tr := translateHeld(held, e)
+				if !have {
+					meet = tr
+					have = true
+				} else {
+					meet = intersectHeld(meet, tr)
+				}
+				if len(meet) == 0 {
+					break
+				}
+			}
+			if !have {
+				continue // all contributions still ⊤
+			}
+			if !a.entryKnown[n.Func] || !heldEqual(a.entryHeld[n.Func], meet) {
+				a.entryHeld[n.Func] = meet
+				a.entryKnown[n.Func] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range eligible {
+		a.entryKnown[n.Func] = true // unresolved cycles → empty
+	}
+}
+
+// --- guarded-by annotations ---
+
+const guardedByMarker = "guarded by "
+
+// collectGuarded parses `// guarded by <lock>` annotations on struct fields
+// (doc comment or trailing comment). The lock must be a sibling field of
+// mutex type on the same struct, or a package-level mutex variable.
+func (a *modAnalysis) collectGuarded() {
+	for _, p := range a.pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					a.collectStructGuards(p, ts.Name.Name, st)
+				}
+			}
+		}
+	}
+}
+
+func (a *modAnalysis) collectStructGuards(p *Package, typeName string, st *ast.StructType) {
+	lockName := func(field *ast.Field) (string, bool) {
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* "))
+				if i := strings.Index(text, guardedByMarker); i >= 0 {
+					rest := strings.Fields(text[i+len(guardedByMarker):])
+					if len(rest) > 0 {
+						return strings.TrimRight(rest[0], ".,;"), true
+					}
+					return "", true
+				}
+			}
+		}
+		return "", false
+	}
+	siblingMutex := func(name string) bool {
+		for _, f := range st.Fields.List {
+			for _, n := range f.Names {
+				if n.Name == name {
+					if obj, ok := p.Info.Defs[n].(*types.Var); ok {
+						return isMutexType(obj.Type())
+					}
+				}
+			}
+		}
+		return false
+	}
+	globalMutex := func(name string) bool {
+		if p.Types == nil {
+			return false
+		}
+		v, ok := p.Types.Scope().Lookup(name).(*types.Var)
+		return ok && isMutexType(v.Type())
+	}
+	for _, field := range st.Fields.List {
+		lock, annotated := lockName(field)
+		if !annotated {
+			continue
+		}
+		pos := field.Pos()
+		file := a.m.Fset.Position(pos).Filename
+		if lock == "" {
+			a.badGuards = append(a.badGuards, badGuard{pos: pos, file: file,
+				reason: "malformed annotation: want \"guarded by <lock>\""})
+			continue
+		}
+		var spec guardSpec
+		switch {
+		case siblingMutex(lock):
+			spec = guardSpec{lock: lock, owner: typeName}
+		case globalMutex(lock):
+			spec = guardSpec{lock: lock, global: true, owner: typeName}
+		default:
+			a.badGuards = append(a.badGuards, badGuard{pos: pos, file: file,
+				reason: "guarded by " + lock + ": no sibling field or package-level sync.Mutex/RWMutex with that name"})
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok {
+				a.guarded[v] = spec
+			}
+		}
+	}
+}
+
+// --- lock-acquisition order graph ---
+
+// forEachLock replays the must-state through every reachable block and calls
+// fn at each Lock/RLock op with the locks held immediately before it.
+func (f *unitFlow) forEachLock(fn func(op lockOp, heldBefore map[string]heldLock)) {
+	if !f.hasLocks {
+		return
+	}
+	for _, b := range f.g.Blocks {
+		if f.mustIn[b.Index] == nil {
+			continue
+		}
+		st := f.mustIn[b.Index].clone()
+		may := cloneStringSet(f.mayIn[b.Index])
+		tok := cloneIntSet(f.tokIn[b.Index])
+		for _, op := range f.blockOps[b.Index] {
+			if op.kind == opLock {
+				snap := make(map[string]heldLock, len(st.held))
+				for k, v := range st.held {
+					snap[k] = v
+				}
+				fn(op, snap)
+			}
+			applyLockOp(st, may, tok, f.sites, op)
+		}
+	}
+}
+
+// computeOrderEdges records every "B acquired while A held" observation, in
+// type-level keys: directly at Lock sites, and interprocedurally at call
+// sites whose callee's synchronous closure acquires further locks.
+func (a *modAnalysis) computeOrderEdges() {
+	type edgeKey struct {
+		from, to string
+		pos      token.Pos
+	}
+	seen := make(map[edgeKey]bool)
+	add := func(from, to string, pos token.Pos) {
+		if from == "" || to == "" || from == to {
+			return
+		}
+		k := edgeKey{from, to, pos}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		a.orderEdges = append(a.orderEdges, orderEdge{from: from, to: to, pos: pos})
+	}
+
+	for _, p := range a.pkgs {
+		for _, u := range a.units[p] {
+			flow := a.flowFor(p, u)
+			if !flow.hasLocks {
+				continue
+			}
+			entry := map[string]heldLock{}
+			if u.isDecl() && u.fn != nil {
+				entry = a.entryHeld[u.fn]
+			}
+			flow.forEachLock(func(op lockOp, held map[string]heldLock) {
+				for k, h := range entry {
+					if _, ok := held[k]; !ok {
+						held[k] = h
+					}
+				}
+				for _, h := range held {
+					add(h.TypeKey, op.typeKey, op.call.Pos())
+				}
+			})
+		}
+	}
+	for _, n := range a.graph.Nodes {
+		for _, e := range n.Out {
+			if e.Async {
+				continue
+			}
+			held, ok := a.siteHeld(e)
+			if !ok {
+				continue
+			}
+			var fromKeys []string
+			for _, h := range held {
+				if h.TypeKey != "" {
+					fromKeys = append(fromKeys, h.TypeKey)
+				}
+			}
+			if len(fromKeys) == 0 {
+				continue
+			}
+			for _, to := range a.graph.AcquiresClosure(e.Callee) {
+				for _, from := range fromKeys {
+					add(from, to, e.Site.Pos())
+				}
+			}
+		}
+	}
+	sort.Slice(a.orderEdges, func(i, j int) bool {
+		if a.orderEdges[i].pos != a.orderEdges[j].pos {
+			return a.orderEdges[i].pos < a.orderEdges[j].pos
+		}
+		if a.orderEdges[i].from != a.orderEdges[j].from {
+			return a.orderEdges[i].from < a.orderEdges[j].from
+		}
+		return a.orderEdges[i].to < a.orderEdges[j].to
+	})
+}
+
+// lockInversions detects cycles in the acquisition-order graph: an edge
+// A→B is an inversion when B also (transitively) precedes A somewhere else.
+func (a *modAnalysis) lockInversions() []inversion {
+	a.invOnce.Do(func() {
+		adj := make(map[string][]orderEdge)
+		for _, e := range a.orderEdges {
+			adj[e.from] = append(adj[e.from], e)
+		}
+		// pathTo finds an edge path from -> ... -> to and returns the final
+		// edge (the one that acquires `to`), or nil.
+		pathTo := func(from, to string) *orderEdge {
+			type qe struct {
+				key string
+				via *orderEdge
+			}
+			seen := map[string]bool{from: true}
+			queue := []qe{{key: from}}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for i := range adj[cur.key] {
+					e := &adj[cur.key][i]
+					if e.to == to {
+						return e
+					}
+					if !seen[e.to] {
+						seen[e.to] = true
+						queue = append(queue, qe{key: e.to, via: e})
+					}
+				}
+			}
+			return nil
+		}
+		type invKey struct {
+			from, to string
+			pos      token.Pos
+		}
+		dedup := make(map[invKey]bool)
+		for _, e := range a.orderEdges {
+			counter := pathTo(e.to, e.from)
+			if counter == nil {
+				continue
+			}
+			k := invKey{e.from, e.to, e.pos}
+			if dedup[k] {
+				continue
+			}
+			dedup[k] = true
+			a.inversions = append(a.inversions, inversion{
+				from: e.from, to: e.to, pos: e.pos, counter: counter.pos,
+			})
+		}
+	})
+	return a.inversions
+}

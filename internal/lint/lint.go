@@ -18,11 +18,13 @@ import (
 )
 
 // Analyzer is one named check. Run inspects a single package and reports
-// findings through the Pass.
+// findings through the Pass. Category, when set, groups the analyzer's SARIF
+// rule for code-scanning dashboards (the concurrency suite shares one).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name     string
+	Doc      string
+	Category string
+	Run      func(*Pass)
 }
 
 // All returns the full analyzer suite in reporting order.
@@ -38,7 +40,43 @@ func All() []*Analyzer {
 		CtxPropagateAnalyzer,
 		FaultSiteAnalyzer,
 		IndexGuardAnalyzer,
+		LockDisciplineAnalyzer,
+		GuardedByAnalyzer,
+		GoroutineEscapeAnalyzer,
+		WaitBlockAnalyzer,
 	}
+}
+
+// Select resolves a comma-separated analyzer subset against the full suite,
+// preserving suite order. An empty string selects everything; an unknown name
+// is an error (a typo'd -analyzers flag must not let CI pass vacuously).
+func Select(names string) ([]*Analyzer, error) {
+	all := All()
+	if strings.TrimSpace(names) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := byName[n]; !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run -list for the suite)", n)
+		}
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 // Finding is one reported violation. Fix, when non-nil, is a

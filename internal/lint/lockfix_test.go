@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const lockFixSrc = `package lockfix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump(ok bool) {
+	b.mu.Lock()
+	if !ok {
+		return
+	}
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b box) read() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+`
+
+// lockFixGolden is lockFixSrc after wise-lint -fix: the leaked Unlock is
+// hoisted to a defer right after the Lock, and the mutex-copying value
+// receiver becomes a pointer receiver.
+const lockFixGolden = `package lockfix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !ok {
+		return
+	}
+	b.n++
+}
+
+func (b *box) read() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+`
+
+// TestApplyLockFixesGolden exercises lockdiscipline's two mechanical fixes
+// end to end: apply, compare golden, reload, prove idempotency.
+func TestApplyLockFixesGolden(t *testing.T) {
+	m := repoModule(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lockfix.go")
+	if err := os.WriteFile(path, []byte(lockFixSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{LockDisciplineAnalyzer}
+	pkg, err := m.LoadExtraDir(dir, "wise/internal/costmodel/lockfixsample1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackage(m, pkg, analyzers)
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings before fixing, got %v", findings)
+	}
+	for _, f := range findings {
+		if f.Fix == nil {
+			t.Fatalf("finding has no fix: %s", f)
+		}
+	}
+	write := func(p string, data []byte) error { return os.WriteFile(p, data, 0o644) }
+	results, err := ApplyFixes(m.Fset, findings, write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Applied == 0 || len(results[0].Skipped) != 0 {
+		t.Fatalf("unexpected fix results: %+v", results)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != lockFixGolden {
+		t.Fatalf("fixed file mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, lockFixGolden)
+	}
+
+	pkg2, err := m.LoadExtraDir(dir, "wise/internal/costmodel/lockfixsample2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := RunPackage(m, pkg2, analyzers)
+	if len(again) != 0 {
+		t.Fatalf("fixed file still has findings: %v", again)
+	}
+	wrote := false
+	if _, err := ApplyFixes(m.Fset, again, func(string, []byte) error { wrote = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if wrote {
+		t.Fatal("second lock-fix pass wrote a file")
+	}
+}

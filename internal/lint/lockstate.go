@@ -1,0 +1,617 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"wise/internal/lint/callgraph"
+	"wise/internal/lint/cfg"
+)
+
+// This file is the flow-sensitive half of the v3 lock analysis: a per-unit
+// (function declaration or function literal) dataflow over the cfg package's
+// graphs that tracks which mutexes are held at every program point. The
+// interprocedural half — entry-held sets, guarded-by annotations, the
+// module-wide acquisition order — lives in interproc.go on top of
+// internal/lint/callgraph.
+//
+// Three lattices run over the same CFG:
+//
+//   - mustHeld: intersection-meet set of locks held on EVERY path to a
+//     point. Used by guardedby ("is the guard provably held here?"),
+//     waitblock, double-lock, and the acquisition-order edges.
+//   - mayHeld: union-meet set of locks held on SOME path. Used for
+//     unlock-without-lock (an Unlock of something not even possibly held).
+//   - tokens: a union-meet "unreleased acquisition" token per Lock site,
+//     killed by a matching Unlock or a deferred Unlock. A token alive at
+//     Exit means some path returns without releasing — the
+//     missing-unlock finding, reported at the Lock site.
+//
+// Lock identity is the rendered root path of the receiver expression
+// ("b.mu", "mu", "r.hist.minMu") — a frame-local key. heldLock carries the
+// frame-independent type-level key (callgraph.TypeLevelLockKey) alongside,
+// for facts that cross function boundaries.
+
+// heldLock describes one held lock.
+type heldLock struct {
+	Write   bool   // held via Lock (true) or RLock (false)
+	TypeKey string // type-level identity, "" for plain locals
+	Global  bool   // rooted at a package-level variable
+}
+
+type lockOpKind uint8
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+	opDeferUnlock
+)
+
+// lockOp is one mutex operation attached to a CFG node.
+type lockOp struct {
+	kind    lockOpKind
+	key     string // frame-local dotted path of the mutex
+	read    bool   // RLock/RUnlock
+	typeKey string
+	global  bool
+	call    *ast.CallExpr
+	node    ast.Node // the CFG node the op lives in
+	site    int      // token index, for opLock
+	inLoop  bool     // opDeferUnlock registered inside a loop
+}
+
+// mutexOpCall matches a call of the form <expr>.Lock/RLock/Unlock/RUnlock()
+// where <expr> is a sync.Mutex or sync.RWMutex (possibly behind a pointer).
+func mutexOpCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil, "", false
+	}
+	if !isMutexType(t) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+func isMutexType(t types.Type) bool {
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockKeyOf renders the frame-local key and its cross-frame metadata for a
+// mutex receiver expression. ok is false when the expression has no stable
+// identity (map element, call result, ...).
+func lockKeyOf(info *types.Info, recv ast.Expr) (key string, typeKey string, global bool, ok bool) {
+	root, _, flat := callgraph.FlattenSelector(recv)
+	if !flat {
+		return "", "", false, false
+	}
+	key = callgraph.RenderPath(recv)
+	if key == "" {
+		return "", "", false, false
+	}
+	typeKey = callgraph.TypeLevelLockKey(recv, info)
+	if obj, isVar := info.Uses[root].(*types.Var); isVar && obj.Pkg() != nil {
+		global = obj.Parent() == obj.Pkg().Scope()
+	}
+	return key, typeKey, global, true
+}
+
+// lockState is the must-analysis value: locks held and deferred releases
+// registered on every path to a point. A nil *lockState is ⊤ (unvisited).
+type lockState struct {
+	held     map[string]heldLock
+	deferred map[string]bool
+}
+
+func newLockState(entry map[string]heldLock) *lockState {
+	s := &lockState{held: make(map[string]heldLock), deferred: make(map[string]bool)}
+	for k, v := range entry {
+		s.held[k] = v
+	}
+	return s
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make(map[string]heldLock, len(s.held)), deferred: make(map[string]bool, len(s.deferred))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// meet intersects two states; nil is the identity (⊤).
+func meetLockState(a, b *lockState) *lockState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := &lockState{held: make(map[string]heldLock), deferred: make(map[string]bool)}
+	for k, va := range a.held {
+		if vb, ok := b.held[k]; ok {
+			v := va
+			v.Write = va.Write && vb.Write // weaker mode survives
+			out.held[k] = v
+		}
+	}
+	for k := range a.deferred {
+		if b.deferred[k] {
+			out.deferred[k] = true
+		}
+	}
+	return out
+}
+
+func (s *lockState) equal(o *lockState) bool {
+	if len(s.held) != len(o.held) || len(s.deferred) != len(o.deferred) {
+		return false
+	}
+	for k, v := range s.held {
+		if ov, ok := o.held[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k := range s.deferred {
+		if !o.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockUnit is one analysis unit: a function declaration, or a function
+// literal nested inside one (literals are opaque in the enclosing CFG and
+// get their own flow, like ctxpropagate's units).
+type lockUnit struct {
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit // nil when the unit is the declaration itself
+	fn   *types.Func  // declared function object (also set for lit units: the enclosing decl)
+}
+
+func (u *lockUnit) body() *ast.BlockStmt {
+	if u.lit != nil {
+		return u.lit.Body
+	}
+	return u.decl.Body
+}
+
+func (u *lockUnit) root() ast.Node {
+	if u.lit != nil {
+		return u.lit
+	}
+	return u.decl
+}
+
+// isDecl reports whether the unit is the declaration body itself (the only
+// unit kind whose entry-held set is meaningful).
+func (u *lockUnit) isDecl() bool { return u.lit == nil }
+
+// unitsOf lists the analysis units of a file: every FuncDecl with a body and
+// every FuncLit inside one.
+func unitsOf(info *types.Info, file *ast.File) []*lockUnit {
+	var out []*lockUnit
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn, _ := info.Defs[fd.Name].(*types.Func)
+		out = append(out, &lockUnit{decl: fd, fn: fn})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, &lockUnit{decl: fd, lit: lit, fn: fn})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// directOf reports whether pos lies directly in unit's body — not inside a
+// nested function literal (which is its own unit).
+func directOf(u *lockUnit, pos token.Pos) bool {
+	body := u.body()
+	if pos < body.Pos() || pos >= body.End() {
+		return false
+	}
+	direct := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || lit == u.lit {
+			return true
+		}
+		if pos >= lit.Pos() && pos < lit.End() {
+			direct = false
+		}
+		return false // deeper literals cannot change the answer
+	})
+	return direct
+}
+
+// unitFlow is the computed dataflow for one unit. g is always present;
+// the lock lattices are only populated when the unit performs lock
+// operations (hasLocks).
+type unitFlow struct {
+	g        *cfg.Graph
+	hasLocks bool
+
+	blockOps [][]lockOp // per block index, execution order
+	sites    []lockOp   // opLock ops by token id
+	mustIn   []*lockState
+	mayIn    []map[string]bool
+	tokIn    []map[int]bool
+	leaked   []int // token ids alive at Exit
+}
+
+// computeFlow builds the CFG and, when the unit locks anything, runs the
+// three dataflows. The entry state is always empty: entry-held locks are a
+// caller fact layered on top by modAnalysis.heldAt.
+func computeFlow(info *types.Info, u *lockUnit) *unitFlow {
+	f := &unitFlow{g: cfg.New(u.body())}
+	nested := collectNestedLits(u)
+	for _, b := range f.g.Blocks {
+		var ops []lockOp
+		for _, node := range b.Nodes {
+			ops = append(ops, extractLockOps(info, node, u, nested, f)...)
+		}
+		f.blockOps = append(f.blockOps, ops)
+		if len(ops) > 0 {
+			f.hasLocks = true
+		}
+	}
+	if !f.hasLocks {
+		return f
+	}
+
+	n := len(f.g.Blocks)
+	f.mustIn = make([]*lockState, n)
+	f.mayIn = make([]map[string]bool, n)
+	f.tokIn = make([]map[int]bool, n)
+	f.mustIn[f.g.Entry.Index] = newLockState(nil)
+	f.mayIn[f.g.Entry.Index] = map[string]bool{}
+	f.tokIn[f.g.Entry.Index] = map[int]bool{}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.g.Blocks {
+			if b != f.g.Entry {
+				var must *lockState
+				may := map[string]bool{}
+				tok := map[int]bool{}
+				any := false
+				for _, p := range b.Preds {
+					pm, pmay, ptok := f.transfer(p)
+					if pm == nil {
+						continue
+					}
+					any = true
+					must = meetLockState(must, pm)
+					for k := range pmay {
+						may[k] = true
+					}
+					for k := range ptok {
+						tok[k] = true
+					}
+				}
+				if !any {
+					continue // unreachable so far
+				}
+				if f.mustIn[b.Index] == nil || !f.mustIn[b.Index].equal(must) ||
+					!sameStringSet(f.mayIn[b.Index], may) || !sameIntSet(f.tokIn[b.Index], tok) {
+					f.mustIn[b.Index] = must
+					f.mayIn[b.Index] = may
+					f.tokIn[b.Index] = tok
+					changed = true
+				}
+			}
+		}
+	}
+
+	if f.tokIn[f.g.Exit.Index] != nil {
+		_, _, tok := f.transfer(f.g.Exit)
+		for id := range tok {
+			f.leaked = append(f.leaked, id)
+		}
+		sort.Ints(f.leaked)
+	}
+	return f
+}
+
+// transfer runs a whole block's ops over its in-state and returns the
+// out-state. Returns nil must-state for unvisited blocks.
+func (f *unitFlow) transfer(b *cfg.Block) (*lockState, map[string]bool, map[int]bool) {
+	must := f.mustIn[b.Index]
+	if must == nil {
+		return nil, nil, nil
+	}
+	must = must.clone()
+	may := cloneStringSet(f.mayIn[b.Index])
+	tok := cloneIntSet(f.tokIn[b.Index])
+	for _, op := range f.blockOps[b.Index] {
+		applyLockOp(must, may, tok, f.sites, op)
+	}
+	return must, may, tok
+}
+
+func applyLockOp(must *lockState, may map[string]bool, tok map[int]bool, sites []lockOp, op lockOp) {
+	switch op.kind {
+	case opLock:
+		must.held[op.key] = heldLock{Write: !op.read, TypeKey: op.typeKey, Global: op.global}
+		may[op.key] = true
+		tok[op.site] = true
+	case opUnlock:
+		delete(must.held, op.key)
+		delete(may, op.key)
+		for id := range tok {
+			if sites[id].key == op.key && sites[id].read == op.read {
+				delete(tok, id)
+			}
+		}
+	case opDeferUnlock:
+		must.deferred[op.key] = true
+		for id := range tok {
+			if sites[id].key == op.key && sites[id].read == op.read {
+				delete(tok, id)
+			}
+		}
+	}
+}
+
+// heldAtLocal returns the locks this unit itself provably holds at pos
+// (excluding caller-provided entry-held locks). Ops in the same block whose
+// node ends at or before pos have taken effect.
+func (f *unitFlow) heldAtLocal(pos token.Pos) map[string]heldLock {
+	out := make(map[string]heldLock)
+	if !f.hasLocks {
+		return out
+	}
+	b := f.g.BlockOf(pos)
+	if b == nil || f.mustIn[b.Index] == nil {
+		return out
+	}
+	st := f.mustIn[b.Index].clone()
+	may := cloneStringSet(f.mayIn[b.Index])
+	tok := cloneIntSet(f.tokIn[b.Index])
+	for _, op := range f.blockOps[b.Index] {
+		if op.node.End() <= pos {
+			applyLockOp(st, may, tok, f.sites, op)
+		}
+	}
+	for k, v := range st.held {
+		out[k] = v
+	}
+	return out
+}
+
+// mayHeldAtLocal is heldAtLocal over the may lattice.
+func (f *unitFlow) mayHeldAtLocal(pos token.Pos) map[string]bool {
+	out := make(map[string]bool)
+	if !f.hasLocks {
+		return out
+	}
+	b := f.g.BlockOf(pos)
+	if b == nil || f.mustIn[b.Index] == nil {
+		return out
+	}
+	st := f.mustIn[b.Index].clone()
+	may := cloneStringSet(f.mayIn[b.Index])
+	tok := cloneIntSet(f.tokIn[b.Index])
+	for _, op := range f.blockOps[b.Index] {
+		if op.node.End() <= pos {
+			applyLockOp(st, may, tok, f.sites, op)
+		}
+	}
+	return may
+}
+
+// forEachOp replays the dataflow through every reachable block and calls fn
+// at each lock op with the must-held and may-held sets immediately before
+// it (excluding entry-held locks, which the caller layers on).
+func (f *unitFlow) forEachOp(fn func(op lockOp, mustBefore map[string]heldLock, mayBefore map[string]bool)) {
+	if !f.hasLocks {
+		return
+	}
+	for _, b := range f.g.Blocks {
+		if f.mustIn[b.Index] == nil {
+			continue
+		}
+		st := f.mustIn[b.Index].clone()
+		may := cloneStringSet(f.mayIn[b.Index])
+		tok := cloneIntSet(f.tokIn[b.Index])
+		for _, op := range f.blockOps[b.Index] {
+			mustSnap := make(map[string]heldLock, len(st.held))
+			for k, v := range st.held {
+				mustSnap[k] = v
+			}
+			fn(op, mustSnap, cloneStringSet(may))
+			applyLockOp(st, may, tok, f.sites, op)
+		}
+	}
+}
+
+// collectNestedLits lists the function literals strictly inside u's body
+// (they are separate units and opaque here).
+func collectNestedLits(u *lockUnit) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(u.body(), func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != u.lit {
+			out = append(out, lit)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func insideAnyLit(pos token.Pos, lits []*ast.FuncLit) bool {
+	for _, l := range lits {
+		if pos >= l.Pos() && pos < l.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// extractLockOps pulls the mutex operations out of one CFG node, in source
+// order, skipping nested function literals. A defer of an Unlock — directly
+// or through a deferred literal — registers a deferred release.
+func extractLockOps(info *types.Info, node ast.Node, u *lockUnit, nested []*ast.FuncLit, f *unitFlow) []lockOp {
+	var out []lockOp
+	appendOp := func(call *ast.CallExpr, method string, deferred bool) {
+		recv, _, ok := mutexOpCall(info, call)
+		if !ok {
+			return
+		}
+		key, typeKey, global, ok := lockKeyOf(info, recv)
+		if !ok {
+			return
+		}
+		op := lockOp{
+			key:     key,
+			read:    method == "RLock" || method == "RUnlock",
+			typeKey: typeKey,
+			global:  global,
+			call:    call,
+			node:    node,
+		}
+		switch {
+		case deferred && (method == "Unlock" || method == "RUnlock"):
+			op.kind = opDeferUnlock
+			op.inLoop = f.g.LoopDepthAt(call.Pos()) > 0
+		case method == "Lock" || method == "RLock":
+			if deferred {
+				return // defer mu.Lock() is nonsense; other analyzers' problem
+			}
+			op.kind = opLock
+			op.site = len(f.sites)
+			f.sites = append(f.sites, op)
+		default:
+			op.kind = opUnlock
+		}
+		out = append(out, op)
+	}
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(sub ast.Node) bool {
+			switch x := sub.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					// defer func() { ... mu.Unlock() ... }() — the releases
+					// inside the deferred literal run at return.
+					ast.Inspect(lit.Body, func(inner ast.Node) bool {
+						if _, ok := inner.(*ast.FuncLit); ok {
+							return false
+						}
+						if call, ok := inner.(*ast.CallExpr); ok {
+							if _, method, ok := mutexOpCall(info, call); ok {
+								appendOp(call, method, true)
+							}
+						}
+						return true
+					})
+					return false
+				}
+				if _, method, ok := mutexOpCall(info, x.Call); ok {
+					appendOp(x.Call, method, true)
+				}
+				return false
+			case *ast.CallExpr:
+				if _, method, ok := mutexOpCall(info, x); ok {
+					appendOp(x, method, deferred)
+				}
+			}
+			return true
+		})
+	}
+	// A RangeStmt is recorded whole in its head block (it carries X and the
+	// Key/Value binding) while the body statements get their own blocks —
+	// walking the whole statement here would double-count the body's ops.
+	if rs, ok := node.(*ast.RangeStmt); ok {
+		walk(rs.X, false)
+		return out
+	}
+	walk(node, false)
+	return out
+}
+
+// --- small set helpers ---
+
+func sameStringSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameIntSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneStringSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func cloneIntSet(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func sortedHeldKeys(m map[string]heldLock) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

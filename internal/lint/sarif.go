@@ -24,8 +24,9 @@ type sarifLog struct {
 }
 
 type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
+	Tool       sarifTool      `json:"tool"`
+	Results    []sarifResult  `json:"results"`
+	Properties map[string]any `json:"properties,omitempty"`
 }
 
 type sarifTool struct {
@@ -38,8 +39,9 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
+	ID               string         `json:"id"`
+	ShortDescription sarifMessage   `json:"shortDescription"`
+	Properties       map[string]any `json:"properties,omitempty"`
 }
 
 type sarifMessage struct {
@@ -78,25 +80,32 @@ type sarifRegion struct {
 // %SRCROOT% uriBaseId so the uploader anchors them at the checkout root.
 // Every analyzer appears in tool.driver.rules even with zero findings, and a
 // finding from outside the analyzer list (the unusedignore meta-check) gets
-// a rule entry on demand, so every ruleId/ruleIndex resolves.
-func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+// a rule entry on demand, so every ruleId/ruleIndex resolves. An analyzer's
+// Category, when set, lands in the rule's properties for dashboard grouping;
+// runProps (may be nil) lands in runs[0].properties — the CLI records its
+// wall-clock time and -budget there so CI can audit lint runtime drift.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding, runProps map[string]any) error {
 	driver := sarifDriver{Name: "wise-lint", Rules: []sarifRule{}}
 	ruleIndex := make(map[string]int)
-	addRule := func(id, doc string) int {
+	addRule := func(id, doc, category string) int {
 		if i, ok := ruleIndex[id]; ok {
 			return i
 		}
 		ruleIndex[id] = len(driver.Rules)
-		driver.Rules = append(driver.Rules, sarifRule{
+		rule := sarifRule{
 			ID:               id,
 			ShortDescription: sarifMessage{Text: doc},
-		})
+		}
+		if category != "" {
+			rule.Properties = map[string]any{"category": category}
+		}
+		driver.Rules = append(driver.Rules, rule)
 		return ruleIndex[id]
 	}
 	for _, a := range analyzers {
-		addRule(a.Name, a.Doc)
+		addRule(a.Name, a.Doc, a.Category)
 	}
-	addRule("unusedignore", "flags //lint:ignore directives that no longer suppress any finding")
+	addRule("unusedignore", "flags //lint:ignore directives that no longer suppress any finding", "")
 
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
@@ -106,7 +115,7 @@ func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
 		}
 		results = append(results, sarifResult{
 			RuleID:    f.Analyzer,
-			RuleIndex: addRule(f.Analyzer, f.Analyzer),
+			RuleIndex: addRule(f.Analyzer, f.Analyzer, ""),
 			Level:     "warning",
 			Message:   sarifMessage{Text: f.Message},
 			Locations: []sarifLocation{{
@@ -123,7 +132,7 @@ func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
 	log := sarifLog{
 		Schema:  sarifSchema,
 		Version: sarifVersion,
-		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results, Properties: runProps}},
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

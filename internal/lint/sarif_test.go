@@ -16,7 +16,7 @@ func TestWriteSARIF(t *testing.T) {
 		{Analyzer: "unusedignore", File: "internal/ml/y.go", Line: 0, Col: 0, Message: "stale"},
 	}
 	var b strings.Builder
-	if err := WriteSARIF(&b, All(), findings); err != nil {
+	if err := WriteSARIF(&b, All(), findings, map[string]any{"wallClockSeconds": 1.5, "budgetSeconds": 90.0}); err != nil {
 		t.Fatal(err)
 	}
 	var log struct {
@@ -31,10 +31,14 @@ func TestWriteSARIF(t *testing.T) {
 						ShortDescription struct {
 							Text string `json:"text"`
 						} `json:"shortDescription"`
+						Properties struct {
+							Category string `json:"category"`
+						} `json:"properties"`
 					} `json:"rules"`
 				} `json:"driver"`
 			} `json:"tool"`
-			Results []struct {
+			Properties map[string]any `json:"properties"`
+			Results    []struct {
 				RuleID    string `json:"ruleId"`
 				RuleIndex int    `json:"ruleIndex"`
 				Level     string `json:"level"`
@@ -68,9 +72,14 @@ func TestWriteSARIF(t *testing.T) {
 	if run.Tool.Driver.Name != "wise-lint" {
 		t.Errorf("driver name = %q", run.Tool.Driver.Name)
 	}
+	if run.Properties["wallClockSeconds"] != 1.5 || run.Properties["budgetSeconds"] != 90.0 {
+		t.Errorf("run properties = %v, want wallClockSeconds/budgetSeconds", run.Properties)
+	}
 	ruleIDs := make(map[string]int)
+	categories := make(map[string]string)
 	for i, r := range run.Tool.Driver.Rules {
 		ruleIDs[r.ID] = i
+		categories[r.ID] = r.Properties.Category
 		if r.ShortDescription.Text == "" {
 			t.Errorf("rule %s has no description", r.ID)
 		}
@@ -78,6 +87,14 @@ func TestWriteSARIF(t *testing.T) {
 	for _, a := range All() {
 		if _, ok := ruleIDs[a.Name]; !ok {
 			t.Errorf("analyzer %s missing from rules", a.Name)
+		}
+		if categories[a.Name] != a.Category {
+			t.Errorf("rule %s category = %q, want %q", a.Name, categories[a.Name], a.Category)
+		}
+	}
+	for _, name := range []string{"lockdiscipline", "guardedby", "goroutineescape", "waitblock"} {
+		if categories[name] != "concurrency" {
+			t.Errorf("rule %s category = %q, want concurrency", name, categories[name])
 		}
 	}
 	if len(run.Results) != len(findings) {
@@ -112,7 +129,7 @@ func TestWriteSARIF(t *testing.T) {
 // catalogue and an empty (not null) results array.
 func TestWriteSARIFEmpty(t *testing.T) {
 	var b strings.Builder
-	if err := WriteSARIF(&b, All(), nil); err != nil {
+	if err := WriteSARIF(&b, All(), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), `"results": null`) {

@@ -1,0 +1,44 @@
+// Fixture: true positives for the goroutineescape analyzer.
+package lintfixture
+
+type tally struct{ n int }
+
+func (t *tally) add() { t.n++ }
+
+func bump(p *int) { *p = *p + 1 }
+
+// badSharedCounter writes n on both sides of the go statement before the
+// channel receive orders anything.
+func badSharedCounter() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++
+		close(done)
+	}()
+	n++ // want goroutineescape
+	<-done
+	return n
+}
+
+// badInterprocWrite spawns a module function that writes through its pointer
+// parameter while the spawner keeps writing the same variable.
+func badInterprocWrite() int {
+	v := 0
+	go bump(&v)
+	v = 2 // want goroutineescape
+	return v
+}
+
+// badRecvWrite races a method's receiver write against a direct field write.
+func badRecvWrite() int {
+	t := &tally{}
+	done := make(chan struct{})
+	go func() {
+		t.add()
+		close(done)
+	}()
+	t.n = 5 // want goroutineescape
+	<-done
+	return t.n
+}

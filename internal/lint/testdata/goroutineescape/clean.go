@@ -1,0 +1,75 @@
+// Fixture: code the goroutineescape analyzer must accept — every
+// happens-before pattern the repo's parallel paths rely on.
+package lintfixture
+
+import "sync"
+
+// goodWaitThenWrite orders the second write after the goroutine via Wait.
+func goodWaitThenWrite() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		n++
+		wg.Done()
+	}()
+	wg.Wait()
+	n++
+	return n
+}
+
+// goodChannelHandoff orders the writes through a channel receive.
+func goodChannelHandoff() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 1
+		close(done)
+	}()
+	<-done
+	n++
+	return n
+}
+
+// goodCommonLock guards both sides with the same mutex.
+func goodCommonLock() int {
+	var mu sync.Mutex
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	n++
+	mu.Unlock()
+	<-done
+	return n
+}
+
+// goodPartitionedWrite splits the slice by index range; the goroutine's
+// index is goroutine-local, the spawner's writes are index-disjoint.
+func goodPartitionedWrite(out []int) {
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < len(out)/2; i++ {
+			out[i] = i
+		}
+		close(done)
+	}()
+	for j := len(out) / 2; j < len(out); j++ {
+		out[j] = j
+	}
+	<-done
+}
+
+// statWrite deliberately lets the probe goroutine race a best-effort counter.
+func statWrite() int {
+	hits := 0
+	go func() { hits++ }()
+	//lint:ignore goroutineescape best-effort instrumentation counter; last write wins is acceptable here
+	hits = 1
+	return hits
+}

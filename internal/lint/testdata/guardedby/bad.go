@@ -1,0 +1,48 @@
+// Fixture: true positives for the guardedby analyzer.
+package lintfixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	// guarded by mu
+	items map[string]int
+}
+
+// badReadUnlocked reads a guarded field with no lock held.
+func badReadUnlocked(s *store) int {
+	return s.items["k"] // want guardedby
+}
+
+// badWriteUnlocked replaces a guarded field with no lock held.
+func badWriteUnlocked(s *store) {
+	s.items = map[string]int{} // want guardedby
+}
+
+// badUnlockTooEarly releases before the last access.
+func badUnlockTooEarly(s *store) int {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return n + s.items["k"] // want guardedby
+}
+
+type cache struct {
+	rw sync.RWMutex
+	// guarded by rw
+	vals []int
+}
+
+// badWriteUnderRLock mutates while holding only the read lock.
+func badWriteUnderRLock(c *cache) {
+	c.rw.RLock()
+	c.vals = append(c.vals, 1) // want guardedby
+	c.rw.RUnlock()
+}
+
+type broken struct {
+	// guarded by lock
+	n int // want guardedby
+}
+
+func useBroken(b *broken) int { return b.n }

@@ -1,0 +1,71 @@
+// Fixture: code the guardedby analyzer must accept.
+package lintfixture
+
+import "sync"
+
+type cleanStore struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+}
+
+// inc accesses the guarded field under its lock.
+func (s *cleanStore) inc() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// incLocked relies on every caller holding mu — the interprocedural
+// entry-held fixpoint proves it.
+func (s *cleanStore) incLocked() { s.n++ }
+
+func (s *cleanStore) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.incLocked()
+}
+
+// newCleanStore publishes only after initialization; the composite literal
+// does not access the field through a selector.
+func newCleanStore() *cleanStore {
+	s := &cleanStore{n: 1}
+	//lint:ignore guardedby construction precedes publication; no other goroutine can see the store yet
+	s.n = 2
+	return s
+}
+
+var regMu sync.Mutex
+
+type registry struct {
+	// guarded by regMu
+	entries []string
+}
+
+// addEntry guards the field with the package-level mutex the annotation
+// names.
+func addEntry(r *registry, e string) {
+	regMu.Lock()
+	r.entries = append(r.entries, e)
+	regMu.Unlock()
+}
+
+type cleanCache struct {
+	rw sync.RWMutex
+	// guarded by rw
+	vals []int
+}
+
+// get reads under the read lock.
+func (c *cleanCache) get(i int) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.vals[i]
+}
+
+// put writes under the write lock.
+func (c *cleanCache) put(v int) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.vals = append(c.vals, v)
+}

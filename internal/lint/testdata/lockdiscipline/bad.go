@@ -1,0 +1,122 @@
+// Fixture: true positives for the lockdiscipline analyzer.
+package lintfixture
+
+import "sync"
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// badLeak returns on the !ok path with the mutex still held.
+func badLeak(a *account, ok bool) int {
+	a.mu.Lock() // want lockdiscipline
+	if !ok {
+		return -1
+	}
+	v := a.bal
+	a.mu.Unlock()
+	return v
+}
+
+// badLeakFixable leaks on the early return; the single trailing Unlock can be
+// hoisted to a defer mechanically (exercised by the -fix golden test).
+func badLeakFixable(a *account) {
+	a.mu.Lock() // want lockdiscipline
+	a.bal++
+	if a.bal > 10 {
+		return
+	}
+	a.mu.Unlock()
+}
+
+// badDouble locks a mutex it already holds on every path.
+func badDouble(a *account) {
+	a.mu.Lock()
+	a.mu.Lock() // want lockdiscipline
+	a.bal++
+	a.mu.Unlock()
+}
+
+// badUnlock releases a mutex no path ever locked.
+func badUnlock(a *account) {
+	a.bal++
+	a.mu.Unlock() // want lockdiscipline
+}
+
+// badDeferLoop registers one deferred unlock per iteration; every iteration
+// after the first self-deadlocks.
+func badDeferLoop(a *account, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		a.mu.Lock()
+		defer a.mu.Unlock() // want lockdiscipline
+		s += x + a.bal
+	}
+	return s
+}
+
+// badRecursiveRLock takes the read lock while already holding the write lock.
+func badRecursiveRLock(g *gauge) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mu.RLock() // want lockdiscipline
+	v := g.v
+	g.mu.RUnlock()
+	return v
+}
+
+type regset struct {
+	mu sync.Mutex
+	n  int
+}
+
+// count copies the receiver — and its mutex — on every call.
+func (r regset) count() int { // want lockdiscipline
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// badCopyAssign copies a mutex-bearing value out of a pointer.
+func badCopyAssign(r *regset) {
+	local := *r // want lockdiscipline
+	_ = local
+}
+
+// badRangeCopy copies each mutex-bearing element into the range variable.
+func badRangeCopy(rs []regset) int {
+	n := 0
+	for _, r := range rs { // want lockdiscipline
+		n += r.n
+	}
+	return n
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// badOrderAB and badOrderBA acquire the same two mutexes in opposite orders;
+// run concurrently they deadlock.
+func badOrderAB(a *account) {
+	muA.Lock()
+	muB.Lock() // want lockdiscipline
+	a.bal++
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func badOrderBA(a *account) {
+	muB.Lock()
+	muA.Lock() // want lockdiscipline
+	a.bal--
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,96 @@
+// Fixture: code the lockdiscipline analyzer must accept — the balanced
+// locking shapes the repo's serve/obs/ml paths use.
+package lintfixture
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+type gaugeBox struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// cleanDefer is the canonical shape: lock, defer unlock.
+func cleanDefer(c *counterBox) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// cleanStraight releases on the single path.
+func cleanStraight(c *counterBox) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// cleanBranchBalanced releases on every branch before returning.
+func cleanBranchBalanced(c *counterBox, flag bool) int {
+	c.mu.Lock()
+	if flag {
+		v := c.n
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// cleanLoopLock locks and unlocks inside the loop body — no deferred
+// release accumulates.
+func cleanLoopLock(c *counterBox, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		c.mu.Lock()
+		s += x + c.n
+		c.mu.Unlock()
+	}
+	return s
+}
+
+// cleanReadLock pairs RLock with a deferred RUnlock.
+func cleanReadLock(g *gaugeBox) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+var (
+	cmuA sync.Mutex
+	cmuB sync.Mutex
+)
+
+// cleanOrderOne and cleanOrderTwo take the two mutexes in the same order —
+// a consistent acquisition order is not an inversion.
+func cleanOrderOne(c *counterBox) {
+	cmuA.Lock()
+	cmuB.Lock()
+	c.n++
+	cmuB.Unlock()
+	cmuA.Unlock()
+}
+
+func cleanOrderTwo(c *counterBox) {
+	cmuA.Lock()
+	cmuB.Lock()
+	c.n--
+	cmuB.Unlock()
+	cmuA.Unlock()
+}
+
+// cleanSuppressedLeak holds the lock into a panic on the overflow path; the
+// process dies with it, so the leak is accepted with a rationale.
+func cleanSuppressedLeak(c *counterBox) {
+	//lint:ignore lockdiscipline the overflow path panics and the process exits; no later locker exists
+	c.mu.Lock()
+	c.n++
+	if c.n > 1000 {
+		panic("counter overflow")
+	}
+	c.mu.Unlock()
+}

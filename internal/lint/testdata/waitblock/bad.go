@@ -1,0 +1,71 @@
+// Fixture: true positives for the waitblock analyzer.
+package lintfixture
+
+import "sync"
+
+// badWaitWhileLocked parks on Wait with the mutex held.
+func badWaitWhileLocked(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait() // want waitblock
+	mu.Unlock()
+}
+
+// badRecvWhileLocked blocks on a bare receive with the mutex held.
+func badRecvWhileLocked(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return <-ch // want waitblock
+}
+
+// badSelectWhileLocked parks on a select with no default.
+func badSelectWhileLocked(mu *sync.Mutex, a, b chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want waitblock
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// badRangeWhileLocked drains a channel with the mutex held the whole time.
+func badRangeWhileLocked(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	s := 0
+	for v := range ch { // want waitblock
+		s += v
+	}
+	return s
+}
+
+func receive(ch chan int) int { return <-ch }
+
+// badCallBlocksWhileLocked calls a module function whose synchronous closure
+// blocks — the callgraph's MayBlock bit sees through the call.
+func badCallBlocksWhileLocked(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return receive(ch) // want waitblock
+}
+
+func addAndServe(wg *sync.WaitGroup) {
+	wg.Add(1)
+	defer wg.Done()
+}
+
+// badAddViaCall moves wg.Add into the goroutine through a module call; Add
+// can run after Wait has already returned.
+func badAddViaCall(wg *sync.WaitGroup) {
+	go addAndServe(wg) // want waitblock
+	wg.Wait()
+}
+
+// badAddViaLit does the same through a spawned literal.
+func badAddViaLit(wg *sync.WaitGroup) {
+	go func() {
+		addAndServe(wg) // want waitblock
+	}()
+	wg.Wait()
+}

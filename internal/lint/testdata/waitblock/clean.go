@@ -1,0 +1,59 @@
+// Fixture: code the waitblock analyzer must accept.
+package lintfixture
+
+import "sync"
+
+// goodWaitUnlocked releases the mutex before parking on Wait.
+func goodWaitUnlocked(mu *sync.Mutex, wg *sync.WaitGroup, n *int) {
+	mu.Lock()
+	*n = *n + 1
+	mu.Unlock()
+	wg.Wait()
+}
+
+// goodNonBlockingSelect polls under the lock — the default case means the
+// select never parks.
+func goodNonBlockingSelect(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+type condBox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+// await parks on Cond.Wait, which releases the lock while parked — exempt.
+func (b *condBox) await() {
+	b.mu.Lock()
+	for !b.ready {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// goodAddBeforeGo performs the Add on the spawning side.
+func goodAddBeforeGo(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	wg.Wait()
+}
+
+// handoffLocked sends on a channel its caller guarantees is buffered; the
+// send cannot park, so the hazard is accepted with a rationale.
+func handoffLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	//lint:ignore waitblock ch is buffered by construction (see the caller); the send cannot park
+	ch <- 1
+}

@@ -85,8 +85,8 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 bits, CAS-updated
 
 	minMu sync.Mutex
-	min   float64
-	max   float64
+	min   float64 // guarded by minMu
+	max   float64 // guarded by minMu
 }
 
 // DefaultLatencyBuckets spans 1µs to ~100s in powers of ~4 — wide enough

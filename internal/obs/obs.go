@@ -31,13 +31,13 @@ import (
 // can isolate state.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	roots    []*Span
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	roots    []*Span               // guarded by mu
 
 	verboseMu sync.Mutex
-	verbose   io.Writer // nil = verbose output disabled
+	verbose   io.Writer // nil = verbose output disabled; guarded by verboseMu
 }
 
 // Default is the process-wide registry used by the package-level helpers.
@@ -114,10 +114,10 @@ type Span struct {
 	startAlloc uint64
 
 	mu       sync.Mutex
-	children []*Span
-	duration time.Duration
-	alloc    uint64
-	ended    bool
+	children []*Span       // guarded by mu
+	duration time.Duration // guarded by mu
+	alloc    uint64        // guarded by mu
+	ended    bool          // guarded by mu
 }
 
 // Begin opens a root span in the registry. The span is recorded immediately

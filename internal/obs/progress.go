@@ -22,8 +22,8 @@ type Progress struct {
 	w     io.Writer // nil = disabled
 
 	mu        sync.Mutex
-	lastPrint time.Time
-	finished  bool
+	lastPrint time.Time // guarded by mu
+	finished  bool      // guarded by mu
 }
 
 // progressInterval rate-limits live progress lines.

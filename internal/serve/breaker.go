@@ -40,10 +40,10 @@ type breaker struct {
 	now       func() time.Time
 
 	mu        sync.Mutex
-	state     breakerState
-	failures  int  // consecutive failures while closed
-	probing   bool // a half-open probe is in flight
-	trippedAt time.Time
+	state     breakerState // guarded by mu
+	failures  int          // consecutive failures while closed; guarded by mu
+	probing   bool         // a half-open probe is in flight; guarded by mu
+	trippedAt time.Time    // guarded by mu
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {

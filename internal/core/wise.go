@@ -229,14 +229,15 @@ type persistedMethod struct {
 	T     float64 `json:"t"`
 }
 
-// modelsArtifactKind tags model files in their resilience envelope.
-const modelsArtifactKind = "wise-models"
+// ModelsArtifactKind tags model files in their resilience envelope. The
+// model registry (internal/registry) uses the same kind, so generation files
+// and standalone wise-train outputs are interchangeable artifacts.
+const ModelsArtifactKind = "wise-models"
 
-// Save atomically writes the trained models to path as JSON inside a
-// checksummed resilience envelope, so a truncated or corrupted file is
-// rejected at load instead of silently mis-parsing. The output is
-// deterministic in the models.
-func (w *WISE) Save(path string) error {
+// MarshalPayload serializes the trained models to the deterministic JSON
+// payload that Save seals inside a resilience envelope. The registry
+// content-addresses generations by the sha256 of exactly these bytes.
+func (w *WISE) MarshalPayload() ([]byte, error) {
 	p := persisted{MachineName: w.Mach.Name, FeatureK: w.FeatureCfg.K}
 	for _, m := range w.Models {
 		p.Methods = append(p.Methods, persistedMethod{
@@ -245,18 +246,58 @@ func (w *WISE) Save(path string) error {
 		})
 		raw, err := m.Tree.Marshal()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		p.Trees = append(p.Trees, raw)
 	}
-	data, err := json.MarshalIndent(p, "", " ")
+	return json.MarshalIndent(p, "", " ")
+}
+
+// Save atomically writes the trained models to path as JSON inside a
+// checksummed resilience envelope, so a truncated or corrupted file is
+// rejected at load instead of silently mis-parsing. The output is
+// deterministic in the models.
+func (w *WISE) Save(path string) error {
+	data, err := w.MarshalPayload()
 	if err != nil {
 		return err
 	}
-	if err := resilience.WriteArtifact(path, modelsArtifactKind, 1, data); err != nil {
+	if err := resilience.WriteArtifact(path, ModelsArtifactKind, 1, data); err != nil {
 		return fmt.Errorf("core: saving models to %s: %w", path, err)
 	}
 	return nil
+}
+
+// LoadPayload parses and validates a models payload (the JSON inside the
+// envelope). Errors do not name the source; file-level loaders (Load, the
+// registry) wrap them with the offending path.
+func LoadPayload(data []byte, mach machine.Machine) (*WISE, error) {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("parsing models: %w", err)
+	}
+	if len(p.Methods) != len(p.Trees) {
+		return nil, fmt.Errorf("%d methods vs %d trees", len(p.Methods), len(p.Trees))
+	}
+	if len(p.Methods) == 0 {
+		return nil, fmt.Errorf("no models in file")
+	}
+	w := &WISE{Mach: mach, FeatureCfg: features.Config{K: p.FeatureK}}
+	for i, pm := range p.Methods {
+		tree, err := ml.UnmarshalTree(p.Trees[i])
+		if err != nil {
+			return nil, fmt.Errorf("tree %d: %w", i, err)
+		}
+		method := kernels.Method{
+			Kind: kernels.Kind(pm.Kind), Sched: kernels.Sched(pm.Sched),
+			C: pm.C, Sigma: pm.Sigma, T: pm.T,
+		}
+		if err := method.Validate(); err != nil {
+			return nil, fmt.Errorf("model %d: %w", i, err)
+		}
+		w.Models = append(w.Models, Model{Method: method, Tree: tree})
+	}
+	return w, nil
 }
 
 // Load reads models saved with Save. The machine must be supplied by the
@@ -267,7 +308,7 @@ func Load(path string, mach machine.Machine) (*WISE, error) {
 	// Every failure branch names path: Load errors surface verbatim in CLI
 	// and server startup messages, and the exit-code contract (RESILIENCE.md)
 	// requires the offending file in the error.
-	env, raw, err := resilience.ReadArtifact(path, modelsArtifactKind)
+	env, raw, err := resilience.ReadArtifact(path, ModelsArtifactKind)
 	data := env.Payload
 	if err != nil {
 		if !errors.Is(err, resilience.ErrNotEnveloped) {
@@ -275,30 +316,9 @@ func Load(path string, mach machine.Machine) (*WISE, error) {
 		}
 		data = raw // legacy pre-envelope models.json: raw JSON
 	}
-	var p persisted
-	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
-	}
-	if len(p.Methods) != len(p.Trees) {
-		return nil, fmt.Errorf("core: %s: %d methods vs %d trees", path, len(p.Methods), len(p.Trees))
-	}
-	if len(p.Methods) == 0 {
-		return nil, fmt.Errorf("core: %s: no models in file", path)
-	}
-	w := &WISE{Mach: mach, FeatureCfg: features.Config{K: p.FeatureK}}
-	for i, pm := range p.Methods {
-		tree, err := ml.UnmarshalTree(p.Trees[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: tree %d: %w", path, i, err)
-		}
-		method := kernels.Method{
-			Kind: kernels.Kind(pm.Kind), Sched: kernels.Sched(pm.Sched),
-			C: pm.C, Sigma: pm.Sigma, T: pm.T,
-		}
-		if err := method.Validate(); err != nil {
-			return nil, fmt.Errorf("core: %s: model %d: %w", path, i, err)
-		}
-		w.Models = append(w.Models, Model{Method: method, Tree: tree})
+	w, err := LoadPayload(data, mach)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
 	}
 	return w, nil
 }

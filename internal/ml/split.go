@@ -1,0 +1,49 @@
+package ml
+
+import "math/rand"
+
+// HoldoutSplit partitions the indices 0..n-1 into a training set and a
+// held-out validation set, deterministically in (n, valFrac, seed). The
+// validation set gets round(n*valFrac) indices, clamped so that — whenever
+// n >= 2 — both sides are non-empty. Both slices are returned in ascending
+// order, so downstream dataset assembly is order-stable.
+//
+// The canary gate of the serving feedback loop (internal/serve) scores a
+// candidate model against the serving one on exactly this split of the
+// accumulated shadow labels; determinism here is what makes a promotion
+// decision reproducible from the label set alone.
+func HoldoutSplit(n int, valFrac float64, seed int64) (train, val []int) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if valFrac < 0 {
+		valFrac = 0
+	}
+	if valFrac > 1 {
+		valFrac = 1
+	}
+	nVal := int(float64(n)*valFrac + 0.5)
+	if n >= 2 {
+		if nVal == 0 {
+			nVal = 1
+		}
+		if nVal == n {
+			nVal = n - 1
+		}
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	inVal := make([]bool, n)
+	for _, i := range perm[:nVal] {
+		inVal[i] = true
+	}
+	train = make([]int, 0, n-nVal)
+	val = make([]int, 0, nVal)
+	for i := 0; i < n; i++ {
+		if inVal[i] {
+			val = append(val, i)
+		} else {
+			train = append(train, i)
+		}
+	}
+	return train, val
+}

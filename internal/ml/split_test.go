@@ -1,0 +1,48 @@
+package ml
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHoldoutSplitDeterministicAndDisjoint(t *testing.T) {
+	t1, v1 := HoldoutSplit(20, 0.25, 7)
+	t2, v2 := HoldoutSplit(20, 0.25, 7)
+	if !reflect.DeepEqual(t1, t2) || !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("same inputs gave different splits: %v/%v vs %v/%v", t1, v1, t2, v2)
+	}
+	if len(v1) != 5 || len(t1) != 15 {
+		t.Fatalf("split sizes = %d train / %d val, want 15/5", len(t1), len(v1))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int(nil), t1...), v1...) {
+		if i < 0 || i >= 20 || seen[i] {
+			t.Fatalf("index %d out of range or duplicated", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("split covers %d of 20 indices", len(seen))
+	}
+
+	t3, v3 := HoldoutSplit(20, 0.25, 8)
+	if reflect.DeepEqual(v1, v3) && reflect.DeepEqual(t1, t3) {
+		t.Fatal("different seeds gave the identical split (possible but astronomically unlikely)")
+	}
+}
+
+func TestHoldoutSplitEdgeCases(t *testing.T) {
+	if tr, v := HoldoutSplit(0, 0.5, 1); tr != nil || v != nil {
+		t.Fatalf("n=0: got %v/%v, want nil/nil", tr, v)
+	}
+	if tr, v := HoldoutSplit(1, 0.5, 1); len(tr)+len(v) != 1 {
+		t.Fatalf("n=1: got %v/%v", tr, v)
+	}
+	// Both sides stay non-empty for n >= 2 at the extremes.
+	for _, frac := range []float64{-1, 0, 0.001, 0.999, 1, 2} {
+		tr, v := HoldoutSplit(2, frac, 3)
+		if len(tr) != 1 || len(v) != 1 {
+			t.Fatalf("n=2 frac=%v: got %d/%d, want 1/1", frac, len(tr), len(v))
+		}
+	}
+}

@@ -1,0 +1,425 @@
+// Package registry is the crash-safe model store behind wise-serve's
+// feedback loop: trained model generations live as immutable,
+// content-addressed artifact files, and the single mutable piece of state —
+// which generation is serving — is an atomically-swapped manifest written
+// through internal/resilience. A process killed at any instant between
+// publishing a candidate and advancing the manifest leaves a valid last-good
+// generation on disk: the generation files are written (and fsynced) before
+// the manifest ever references them, the manifest rename is atomic, and a
+// serving generation that fails validation at open time falls back to the
+// previous one recorded in the manifest.
+//
+// The promotion protocol is canary-gated: GatedPromote advances the manifest
+// only when the candidate beat the serving generation on a held-out
+// validation slice (scored by the caller), and Rollback swaps the manifest
+// back to the previous generation when a promoted model regresses in
+// production (the drift detector's post-promotion probation, RESILIENCE.md
+// "Self-healing serving").
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"wise/internal/core"
+	"wise/internal/machine"
+	"wise/internal/obs"
+	"wise/internal/resilience"
+	"wise/internal/resilience/faultinject"
+)
+
+const (
+	manifestKind = "wise-manifest"
+	manifestName = "manifest.wise"
+	genPrefix    = "gen-"
+	genSuffix    = ".wise"
+
+	// keepGenerations bounds how many retired generation files prune keeps
+	// (the serving and previous generations are always kept on top).
+	keepGenerations = 8
+
+	// idLen is the hex length of a generation ID: the first 16 hex chars
+	// (64 bits) of the payload sha256 — far beyond collision risk for the
+	// handful of generations a registry ever holds, and short enough to read
+	// in logs and manifests.
+	idLen = 16
+)
+
+// ErrRejected reports a candidate that did not pass the canary gate; the
+// manifest is untouched.
+var ErrRejected = errors.New("registry: candidate rejected by canary gate")
+
+// ErrEmpty reports an operation that needs a serving generation on a
+// registry whose manifest does not exist yet.
+var ErrEmpty = errors.New("registry: no serving generation")
+
+// Observability instruments (documented in OBSERVABILITY.md).
+var (
+	publishes   = obs.NewCounter("registry.publishes")
+	promotions  = obs.NewCounter("registry.promotions")
+	rejections  = obs.NewCounter("registry.promotions_rejected")
+	rollbacks   = obs.NewCounter("registry.rollbacks")
+	recoveries  = obs.NewCounter("registry.recoveries")
+	generations = obs.NewGauge("registry.generations")
+)
+
+// Generation is one immutable, validated model generation.
+type Generation struct {
+	ID   string     // content address: first 16 hex chars of the payload sha256
+	Path string     // generation file (sealed wise-models artifact)
+	W    *core.WISE // parsed, validated models
+}
+
+// manifest is the single mutable record of the registry: which generation
+// serves, which one served before it (the rollback target), and the ordered
+// publication history that pruning trims. It is persisted as a sealed
+// artifact and only ever replaced atomically.
+type manifest struct {
+	Serving  string   `json:"serving"`
+	Previous string   `json:"previous,omitempty"`
+	Seq      int      `json:"seq"`
+	History  []string `json:"history,omitempty"`
+}
+
+// Registry is one on-disk model registry. All methods are safe for
+// concurrent use.
+type Registry struct {
+	dir  string
+	mach machine.Machine
+
+	mu  sync.Mutex
+	man manifest    // guarded by mu
+	cur *Generation // guarded by mu; nil while the registry is empty
+}
+
+// Open loads (or initializes) the registry in dir. A missing manifest means
+// an empty registry — Current returns nil until the first Promote. When the
+// manifest exists, the serving generation is loaded and validated; if its
+// file is corrupt or missing, Open falls back to the previous generation
+// (counting registry.recoveries) and re-points the manifest at it, so a
+// damaged promotion can never brick a restart while a last-good generation
+// survives on disk.
+func Open(dir string, mach machine.Machine) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating %s: %w", dir, err)
+	}
+	r := &Registry{dir: dir, mach: mach}
+	man, err := r.readManifest()
+	if errors.Is(err, os.ErrNotExist) {
+		return r, nil // empty registry
+	}
+	if err != nil {
+		return nil, err
+	}
+	cur, curErr := r.loadGeneration(man.Serving)
+	if curErr != nil {
+		if man.Previous == "" {
+			return nil, fmt.Errorf("registry: serving generation unusable and no previous to fall back to: %w", curErr)
+		}
+		prev, prevErr := r.loadGeneration(man.Previous)
+		if prevErr != nil {
+			return nil, fmt.Errorf("registry: serving generation unusable (%v); previous also unusable: %w", curErr, prevErr)
+		}
+		obs.Verbosef("registry: serving generation %s unusable (%v); recovering to previous %s", man.Serving, curErr, prev.ID)
+		recoveries.Inc()
+		man.Serving, man.Previous = man.Previous, ""
+		man.Seq++
+		if err := r.writeManifest(man); err != nil {
+			return nil, fmt.Errorf("registry: persisting recovery to %s: %w", prev.ID, err)
+		}
+		cur = prev
+	}
+	r.mu.Lock()
+	r.man, r.cur = man, cur
+	r.mu.Unlock()
+	generations.Set(float64(len(man.History)))
+	return r, nil
+}
+
+// Dir returns the registry directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Current returns the serving generation, or nil while the registry is
+// empty.
+func (r *Registry) Current() *Generation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// ManifestPath returns the path of the manifest artifact; change detectors
+// (the serve reload poller) compare its envelope checksum cheaply via
+// resilience.PeekHeaderChecksum.
+func (r *Registry) ManifestPath() string { return filepath.Join(r.dir, manifestName) }
+
+// genPath returns the content-addressed file of a generation ID.
+func (r *Registry) genPath(id string) string {
+	return filepath.Join(r.dir, genPrefix+id+genSuffix)
+}
+
+// idOf content-addresses a models payload.
+func idOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])[:idLen]
+}
+
+// Publish writes w as a new generation file and returns it — durable on
+// disk, but not serving until Promote advances the manifest. Publishing the
+// byte-identical model twice is a no-op that returns the same ID, so a
+// retrain that converges to the current model costs nothing.
+func (r *Registry) Publish(w *core.WISE) (*Generation, error) {
+	payload, err := w.MarshalPayload()
+	if err != nil {
+		return nil, fmt.Errorf("registry: marshaling candidate: %w", err)
+	}
+	return r.publishPayload(payload)
+}
+
+// ImportFile publishes the models file at path (a wise-train output, sealed
+// or legacy raw JSON) as a generation. Used to seed a registry from the
+// -models flag on first boot.
+func (r *Registry) ImportFile(path string) (*Generation, error) {
+	env, raw, err := resilience.ReadArtifact(path, core.ModelsArtifactKind)
+	payload := env.Payload
+	if err != nil {
+		if !errors.Is(err, resilience.ErrNotEnveloped) {
+			return nil, fmt.Errorf("registry: importing %s: %w", path, err)
+		}
+		payload = raw // legacy pre-envelope models.json
+	}
+	return r.publishPayload(payload)
+}
+
+// publishPayload validates a models payload and writes its generation file
+// if it is not already present and intact.
+func (r *Registry) publishPayload(payload []byte) (*Generation, error) {
+	w, err := core.LoadPayload(payload, r.mach)
+	if err != nil {
+		return nil, fmt.Errorf("registry: candidate payload: %w", err)
+	}
+	id := idOf(payload)
+	path := r.genPath(id)
+	if existing, err := r.loadGeneration(id); err == nil {
+		return existing, nil // content-addressed: identical bytes, file intact
+	}
+	if err := resilience.WriteArtifact(path, core.ModelsArtifactKind, 1, payload); err != nil {
+		return nil, fmt.Errorf("registry: writing generation %s: %w", id, err)
+	}
+	publishes.Inc()
+	obs.Verbosef("registry: published generation %s (%d models)", id, len(w.Models))
+	return &Generation{ID: id, Path: path, W: w}, nil
+}
+
+// loadGeneration reads, checksum-verifies, and parses one generation file.
+func (r *Registry) loadGeneration(id string) (*Generation, error) {
+	path := r.genPath(id)
+	env, _, err := resilience.ReadArtifact(path, core.ModelsArtifactKind)
+	if err != nil {
+		return nil, fmt.Errorf("registry: generation %s: %w", id, err)
+	}
+	if got := idOf(env.Payload); got != id {
+		return nil, fmt.Errorf("registry: generation file %s holds payload %s (renamed or tampered)", path, got)
+	}
+	w, err := core.LoadPayload(env.Payload, r.mach)
+	if err != nil {
+		return nil, fmt.Errorf("registry: generation %s: %w", id, err)
+	}
+	return &Generation{ID: id, Path: path, W: w}, nil
+}
+
+// Promote makes generation id the serving one by atomically swapping the
+// manifest; the displaced generation becomes the rollback target. The
+// candidate file is re-validated first, so a manifest can never point at a
+// generation that does not load. The registry.publish.crash fault site sits
+// between validation and the manifest write — exactly where a process kill
+// leaves a durable candidate file but an unadvanced manifest, which a
+// restart must resolve to the last-good generation.
+func (r *Registry) Promote(id string) error {
+	gen, err := r.loadGeneration(id)
+	if err != nil {
+		return fmt.Errorf("registry: refusing to promote: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.man.Serving == id {
+		return nil // already serving; keep the manifest untouched
+	}
+	if err := faultinject.Hit("registry.publish.crash"); err != nil {
+		return fmt.Errorf("registry: promoting %s: %w", id, err)
+	}
+	man := r.man
+	man.Previous = man.Serving
+	man.Serving = id
+	man.Seq++
+	man.History = appendHistory(man.History, id)
+	if err := r.writeManifest(man); err != nil {
+		return fmt.Errorf("registry: promoting %s: %w", id, err)
+	}
+	r.man, r.cur = man, gen
+	promotions.Inc()
+	generations.Set(float64(len(man.History)))
+	r.pruneLocked()
+	obs.Verbosef("registry: promoted generation %s (seq %d, previous %s)", id, man.Seq, man.Previous)
+	return nil
+}
+
+// GatedPromote is the canary gate in front of Promote: the candidate is
+// promoted only when its held-out validation error improved on the serving
+// generation's (scored by the caller over the same slice — see the serve
+// feedback loop). A rejection leaves the manifest untouched and returns
+// ErrRejected; the promote.reject fault site forces that path in tests and
+// chaos runs.
+func (r *Registry) GatedPromote(id string, servingErr, candErr float64) error {
+	if err := faultinject.Hit("promote.reject"); err != nil {
+		rejections.Inc()
+		return fmt.Errorf("%w: %s: %v", ErrRejected, id, err)
+	}
+	if !(candErr < servingErr) {
+		rejections.Inc()
+		return fmt.Errorf("%w: %s: candidate validation error %.4f did not beat serving %.4f",
+			ErrRejected, id, candErr, servingErr)
+	}
+	return r.Promote(id)
+}
+
+// Rollback swaps the manifest back to the previous generation — the
+// automatic response to a post-promotion regression. The generations trade
+// places, so a mistaken rollback is itself rollback-able.
+func (r *Registry) Rollback() (*Generation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return nil, ErrEmpty
+	}
+	if r.man.Previous == "" {
+		return nil, fmt.Errorf("registry: no previous generation to roll back to")
+	}
+	gen, err := r.loadGeneration(r.man.Previous)
+	if err != nil {
+		return nil, fmt.Errorf("registry: rollback target unusable: %w", err)
+	}
+	man := r.man
+	man.Serving, man.Previous = man.Previous, man.Serving
+	man.Seq++
+	if err := r.writeManifest(man); err != nil {
+		return nil, fmt.Errorf("registry: rolling back to %s: %w", gen.ID, err)
+	}
+	r.man, r.cur = man, gen
+	rollbacks.Inc()
+	obs.Verbosef("registry: rolled back to generation %s (seq %d)", gen.ID, man.Seq)
+	return gen, nil
+}
+
+// Refresh re-reads the manifest from disk and swaps in its serving
+// generation when another process advanced it. Returns the serving
+// generation and whether it changed.
+func (r *Registry) Refresh() (*Generation, bool, error) {
+	man, err := r.readManifest()
+	if errors.Is(err, os.ErrNotExist) {
+		return r.Current(), false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	unchanged := r.cur != nil && r.cur.ID == man.Serving
+	r.mu.Unlock()
+	if unchanged {
+		return r.Current(), false, nil
+	}
+	gen, err := r.loadGeneration(man.Serving)
+	if err != nil {
+		return nil, false, fmt.Errorf("registry: refresh: %w", err)
+	}
+	r.mu.Lock()
+	r.man, r.cur = man, gen
+	r.mu.Unlock()
+	return gen, true, nil
+}
+
+// readManifest reads and validates the manifest artifact. os.ErrNotExist
+// (wrapped) means the registry is empty.
+func (r *Registry) readManifest() (manifest, error) {
+	path := r.ManifestPath()
+	env, _, err := resilience.ReadArtifact(path, manifestKind)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return manifest{}, fmt.Errorf("registry: %s: %w", path, os.ErrNotExist)
+		}
+		return manifest{}, fmt.Errorf("registry: manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(env.Payload, &man); err != nil {
+		return manifest{}, fmt.Errorf("registry: parsing manifest %s: %w", path, err)
+	}
+	if man.Serving == "" {
+		return manifest{}, fmt.Errorf("registry: manifest %s has no serving generation", path)
+	}
+	return man, nil
+}
+
+// writeManifest atomically replaces the manifest artifact.
+func (r *Registry) writeManifest(man manifest) error {
+	payload, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return err
+	}
+	return resilience.WriteArtifact(r.ManifestPath(), manifestKind, 1, payload)
+}
+
+// appendHistory appends id to the publication history, dropping an earlier
+// occurrence so re-promotions (rollback, re-publish of identical bytes)
+// don't grow the list.
+func appendHistory(history []string, id string) []string {
+	out := make([]string, 0, len(history)+1)
+	for _, h := range history {
+		if h != id {
+			out = append(out, h)
+		}
+	}
+	return append(out, id)
+}
+
+// pruneLocked removes retired generation files beyond the retention window.
+// The serving and previous generations are always kept regardless of
+// history position. Best-effort: a prune failure is narrated, never fatal —
+// an extra file on disk is not a correctness problem. Callers hold mu.
+func (r *Registry) pruneLocked() {
+	keep := make(map[string]bool, keepGenerations+2)
+	keep[r.man.Serving] = true
+	if r.man.Previous != "" {
+		keep[r.man.Previous] = true
+	}
+	tail := r.man.History
+	if len(tail) > keepGenerations {
+		tail = tail[len(tail)-keepGenerations:]
+	}
+	for _, id := range tail {
+		keep[id] = true
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		obs.Verbosef("registry: prune: %v", err)
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(name, genPrefix), genSuffix)
+		if keep[id] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(r.dir, name)); err != nil {
+			obs.Verbosef("registry: pruning %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wise/internal/core"
+	"wise/internal/features"
+	"wise/internal/gen"
+	"wise/internal/kernels"
+	"wise/internal/machine"
+	"wise/internal/ml"
+	"wise/internal/perf"
+	"wise/internal/resilience/faultinject"
+)
+
+// testModel trains a tiny two-method framework whose class labels are a
+// function of variant, so different variants produce byte-distinct
+// generations and identical variants produce byte-identical ones.
+func testModel(t *testing.T, variant int) *core.WISE {
+	t.Helper()
+	space := []kernels.Method{
+		{Kind: kernels.CSR, Sched: kernels.Dyn},
+		{Kind: kernels.SELLPACK, Sched: kernels.Dyn, C: 8},
+	}
+	rng := rand.New(rand.NewSource(1))
+	var labels []perf.MatrixLabels
+	for i := 0; i < 6; i++ {
+		m := gen.Uniform(rng, 150+20*i, 4)
+		labels = append(labels, perf.MatrixLabels{
+			Name: fmt.Sprintf("train-%d", i),
+			Rows: m.Rows, Cols: m.Cols, NNZ: int64(m.NNZ()),
+			Features: features.Extract(m, features.DefaultConfig()),
+			Methods:  space,
+			Classes:  []int{(1 + variant) % perf.NumClasses, variant % perf.NumClasses},
+		})
+	}
+	w, err := core.Train(labels, ml.DefaultTreeConfig(), features.DefaultConfig(), machine.Scaled())
+	if err != nil {
+		t.Fatalf("training test model: %v", err)
+	}
+	return w
+}
+
+func openTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := Open(t.TempDir(), machine.Scaled())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return r
+}
+
+func armFaults(t *testing.T, spec string) {
+	t.Helper()
+	if err := faultinject.Configure(spec, 1); err != nil {
+		t.Fatalf("Configure(%q): %v", spec, err)
+	}
+	t.Cleanup(faultinject.Disable)
+}
+
+func TestEmptyRegistry(t *testing.T) {
+	r := openTestRegistry(t)
+	if got := r.Current(); got != nil {
+		t.Fatalf("empty registry Current() = %v, want nil", got)
+	}
+	if _, err := r.Rollback(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Rollback on empty registry: err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPublishPromoteReopen(t *testing.T) {
+	r := openTestRegistry(t)
+	genA, err := r.Publish(testModel(t, 0))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if r.Current() != nil {
+		t.Fatal("Publish alone must not start serving")
+	}
+	if err := r.Promote(genA.ID); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if got := r.Current(); got == nil || got.ID != genA.ID {
+		t.Fatalf("Current = %v, want %s", got, genA.ID)
+	}
+
+	// A fresh Open (the restart path) must serve the same generation with
+	// byte-identical content.
+	before, err := os.ReadFile(genA.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(r.Dir(), machine.Scaled())
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	cur := r2.Current()
+	if cur == nil || cur.ID != genA.ID {
+		t.Fatalf("reopened Current = %v, want %s", cur, genA.ID)
+	}
+	after, err := os.ReadFile(cur.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("generation file changed bytes across reopen")
+	}
+}
+
+func TestPublishContentAddressed(t *testing.T) {
+	r := openTestRegistry(t)
+	a1, err := r.Publish(testModel(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi1, err := os.Stat(a1.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.Publish(testModel(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.ID != a2.ID {
+		t.Fatalf("identical models published as %s and %s", a1.ID, a2.ID)
+	}
+	fi2, err := os.Stat(a2.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi1.ModTime().Equal(fi2.ModTime()) || fi1.Size() != fi2.Size() {
+		t.Fatal("re-publishing identical bytes rewrote the generation file")
+	}
+	b, err := r.Publish(testModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID == a1.ID {
+		t.Fatal("distinct models share a generation ID")
+	}
+}
+
+// TestPromoteCrashLeavesLastGood is the crash-recovery acceptance test: a
+// process killed mid-promotion — after the candidate generation file is
+// durable but before the manifest swap (the registry.publish.crash site) —
+// must restart serving the previous generation, byte-identically.
+func TestPromoteCrashLeavesLastGood(t *testing.T) {
+	r := openTestRegistry(t)
+	genA, err := r.Publish(testModel(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(genA.ID); err != nil {
+		t.Fatal(err)
+	}
+	servedBefore, err := os.ReadFile(genA.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genB, err := r.Publish(testModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the process mid-promotion: the injected panic stands in for
+	// SIGKILL between the durable candidate file and the manifest rename.
+	armFaults(t, "registry.publish.crash:panic")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("injected crash did not fire")
+			}
+		}()
+		_ = r.Promote(genB.ID)
+	}()
+
+	// Restart: a fresh Open must resolve to the last durable generation.
+	r2, err := Open(r.Dir(), machine.Scaled())
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	cur := r2.Current()
+	if cur == nil || cur.ID != genA.ID {
+		t.Fatalf("after crash restart Current = %v, want last-good %s", cur, genA.ID)
+	}
+	servedAfter, err := os.ReadFile(cur.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(servedBefore) != string(servedAfter) {
+		t.Fatal("last-good generation is not byte-identical after the crash")
+	}
+
+	// The candidate file survived the crash, so the retried promotion (the
+	// restart's retrain loop) needs no re-publish.
+	if err := r2.Promote(genB.ID); err != nil {
+		t.Fatalf("retrying promotion after restart: %v", err)
+	}
+	if got := r2.Current(); got.ID != genB.ID {
+		t.Fatalf("after retried promotion Current = %s, want %s", got.ID, genB.ID)
+	}
+}
+
+func TestGatedPromote(t *testing.T) {
+	r := openTestRegistry(t)
+	genA, err := r.Publish(testModel(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(genA.ID); err != nil {
+		t.Fatal(err)
+	}
+	genB, err := r.Publish(testModel(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The candidate must strictly beat the serving generation.
+	if err := r.GatedPromote(genB.ID, 0.5, 0.5); !errors.Is(err, ErrRejected) {
+		t.Fatalf("tie promotion: err = %v, want ErrRejected", err)
+	}
+	if err := r.GatedPromote(genB.ID, 0.5, 0.9); !errors.Is(err, ErrRejected) {
+		t.Fatalf("worse candidate: err = %v, want ErrRejected", err)
+	}
+	if got := r.Current(); got.ID != genA.ID {
+		t.Fatalf("rejected promotions moved the manifest to %s", got.ID)
+	}
+
+	// The promote.reject fault site forces the rejection path even for a
+	// winning candidate.
+	armFaults(t, "promote.reject:error")
+	if err := r.GatedPromote(genB.ID, 0.5, 0.1); !errors.Is(err, ErrRejected) {
+		t.Fatalf("injected rejection: err = %v, want ErrRejected", err)
+	}
+	faultinject.Disable()
+
+	if err := r.GatedPromote(genB.ID, 0.5, 0.1); err != nil {
+		t.Fatalf("winning candidate rejected: %v", err)
+	}
+	if got := r.Current(); got.ID != genB.ID {
+		t.Fatalf("after gated promotion Current = %s, want %s", got.ID, genB.ID)
+	}
+}
+
+func TestRollback(t *testing.T) {
+	r := openTestRegistry(t)
+	genA, _ := r.Publish(testModel(t, 0))
+	if err := r.Promote(genA.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Rollback(); err == nil {
+		t.Fatal("rollback with no previous generation succeeded")
+	}
+	genB, _ := r.Publish(testModel(t, 2))
+	if err := r.Promote(genB.ID); err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Rollback()
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if back.ID != genA.ID || r.Current().ID != genA.ID {
+		t.Fatalf("rollback served %s, want %s", back.ID, genA.ID)
+	}
+	// The generations traded places: rolling back again restores B.
+	again, err := r.Rollback()
+	if err != nil {
+		t.Fatalf("second Rollback: %v", err)
+	}
+	if again.ID != genB.ID {
+		t.Fatalf("rollback of rollback served %s, want %s", again.ID, genB.ID)
+	}
+	// The swap survives a restart.
+	r2, err := Open(r.Dir(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Current(); got.ID != genB.ID {
+		t.Fatalf("reopened Current = %s, want %s", got.ID, genB.ID)
+	}
+}
+
+// TestOpenRecoversFromCorruptServing corrupts the serving generation file on
+// disk: Open must fall back to the previous generation and persist that
+// recovery, instead of refusing to start.
+func TestOpenRecoversFromCorruptServing(t *testing.T) {
+	r := openTestRegistry(t)
+	genA, _ := r.Publish(testModel(t, 0))
+	if err := r.Promote(genA.ID); err != nil {
+		t.Fatal(err)
+	}
+	genB, _ := r.Publish(testModel(t, 2))
+	if err := r.Promote(genB.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(genB.Path, []byte("#wise-artifact v1 torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(r.Dir(), machine.Scaled())
+	if err != nil {
+		t.Fatalf("Open with corrupt serving generation: %v", err)
+	}
+	if got := r2.Current(); got == nil || got.ID != genA.ID {
+		t.Fatalf("recovered Current = %v, want previous %s", got, genA.ID)
+	}
+	// The recovery was persisted: a third open needs no fallback logic.
+	r3, err := Open(r.Dir(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r3.Current(); got.ID != genA.ID {
+		t.Fatalf("post-recovery Current = %s, want %s", got.ID, genA.ID)
+	}
+}
+
+func TestImportFile(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "models.json")
+	w := testModel(t, 0)
+	if err := w.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	r := openTestRegistry(t)
+	g, err := r.ImportFile(modelPath)
+	if err != nil {
+		t.Fatalf("ImportFile: %v", err)
+	}
+	if err := r.Promote(g.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Importing the same file again is idempotent (content addressing).
+	g2, err := r.ImportFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.ID != g.ID {
+		t.Fatalf("re-import produced %s, want %s", g2.ID, g.ID)
+	}
+	if _, err := r.ImportFile(filepath.Join(dir, "missing.json")); err == nil ||
+		!strings.Contains(err.Error(), "missing.json") {
+		t.Fatalf("importing missing file: err = %v, want path in message", err)
+	}
+}
+
+func TestRefreshSeesExternalPromotion(t *testing.T) {
+	r1 := openTestRegistry(t)
+	genA, _ := r1.Publish(testModel(t, 0))
+	if err := r1.Promote(genA.ID); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(r1.Dir(), machine.Scaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	genB, _ := r2.Publish(testModel(t, 2))
+	if err := r2.Promote(genB.ID); err != nil {
+		t.Fatal(err)
+	}
+	gen, changed, err := r1.Refresh()
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if !changed || gen.ID != genB.ID {
+		t.Fatalf("Refresh = (%v, %v), want external generation %s", gen, changed, genB.ID)
+	}
+	if _, changed, _ := r1.Refresh(); changed {
+		t.Fatal("second Refresh reported a change")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	r := openTestRegistry(t)
+	var last *Generation
+	for v := 0; v < keepGenerations+4; v++ {
+		g, err := r.Publish(testModel(t, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Promote(g.ID); err != nil {
+			t.Fatal(err)
+		}
+		last = g
+	}
+	entries, err := os.ReadDir(r.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var genFiles int
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), genPrefix) {
+			genFiles++
+		}
+	}
+	if genFiles > keepGenerations+2 {
+		t.Fatalf("prune left %d generation files, want <= %d", genFiles, keepGenerations+2)
+	}
+	if got := r.Current(); got.ID != last.ID {
+		t.Fatalf("after pruning Current = %s, want %s", got.ID, last.ID)
+	}
+	if _, err := r.Rollback(); err != nil {
+		t.Fatalf("rollback target pruned away: %v", err)
+	}
+}
+
+// TestChaosRegistryFromEnv is the nightly chaos entry point (ci.yml): armed
+// purely from WISE_FAULTS, it hammers the publish/promote/rollback protocol
+// under the injected fault mix — panics included — and asserts the crash-
+// safety invariant: however the run was interrupted, reopening the registry
+// yields a valid, loadable serving generation.
+func TestChaosRegistryFromEnv(t *testing.T) {
+	if os.Getenv("WISE_FAULTS") == "" {
+		t.Skip("set WISE_FAULTS to run chaos (see the ci.yml chaos-nightly matrix for specs)")
+	}
+	if err := faultinject.ConfigureFromEnv(os.Getenv); err != nil {
+		t.Fatalf("ConfigureFromEnv: %v", err)
+	}
+	t.Cleanup(faultinject.Disable)
+
+	dir := t.TempDir()
+	r, err := Open(dir, machine.Scaled())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		chaosStep(t, r, i)
+	}
+	// The invariant: whatever the faults interrupted, a restart finds a
+	// valid last-good generation (or a still-empty registry).
+	r2, err := Open(dir, machine.Scaled())
+	if err != nil {
+		t.Fatalf("reopen after chaos: %v", err)
+	}
+	if cur := r2.Current(); cur != nil {
+		if _, err := r2.loadGeneration(cur.ID); err != nil {
+			t.Fatalf("serving generation %s does not load after chaos: %v", cur.ID, err)
+		}
+	}
+}
+
+// chaosStep runs one publish/gated-promote/rollback round, absorbing
+// injected panics the way a process death would — by abandoning the step.
+func chaosStep(t *testing.T, r *Registry, i int) {
+	t.Helper()
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Logf("step %d: injected crash absorbed: %v", i, rec)
+		}
+	}()
+	gen, err := r.Publish(testModel(t, i%3))
+	if err != nil {
+		t.Logf("step %d: publish: %v", i, err)
+		return
+	}
+	if err := r.GatedPromote(gen.ID, 1.0, 0.5); err != nil {
+		t.Logf("step %d: gated promote: %v", i, err)
+	}
+	if i%3 == 2 {
+		if _, err := r.Rollback(); err != nil {
+			t.Logf("step %d: rollback: %v", i, err)
+		}
+	}
+}

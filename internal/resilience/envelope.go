@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -96,6 +97,39 @@ func Open(kind string, data []byte) (Envelope, error) {
 	}
 	env.Payload = payload
 	return env, nil
+}
+
+// PeekHeaderChecksum reads only the envelope header line of path and returns
+// its declared payload sha256. It never reads the payload, so change
+// detectors (the serve reload poller) can compare file identity cheaply even
+// for large model files. Returns ErrNotEnveloped for legacy files without an
+// envelope and an error when the header is malformed or unreadable.
+func PeekHeaderChecksum(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("resilience: reading artifact header: %w", err)
+	}
+	defer f.Close()
+	// The header is one short ASCII line: magic + four key=value fields.
+	buf := make([]byte, 256)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		return "", fmt.Errorf("resilience: reading artifact header of %s: %w", path, err)
+	}
+	buf = buf[:n]
+	if !bytes.HasPrefix(buf, []byte(envelopeMagic)) {
+		return "", fmt.Errorf("%w: %s", ErrNotEnveloped, path)
+	}
+	nl := bytes.IndexByte(buf, '\n')
+	if nl < 0 {
+		return "", fmt.Errorf("resilience: %s: envelope header longer than %d bytes or truncated", path, len(buf))
+	}
+	for _, field := range strings.Fields(string(buf[len(envelopeMagic):nl])) {
+		if sum, ok := strings.CutPrefix(field, "sha256="); ok {
+			return sum, nil
+		}
+	}
+	return "", fmt.Errorf("resilience: %s: envelope header has no sha256 field", path)
 }
 
 // WriteArtifact atomically writes payload to path inside a sealed envelope.

@@ -3,6 +3,8 @@ package resilience
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"os"
 	"path/filepath"
@@ -277,5 +279,51 @@ func TestRetryStopsOnCancel(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("calls = %d, want 1 (cancelled during first backoff)", calls)
+	}
+}
+
+// TestPeekHeaderChecksum covers the cheap change-detection path the serve
+// reload poller uses: the header checksum matches the sealed payload's
+// declared sum, differs when the payload differs, and non-enveloped or
+// missing files answer with the right errors.
+func TestPeekHeaderChecksum(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.wise")
+	if err := WriteArtifact(path, "peek-test", 1, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := PeekHeaderChecksum(path)
+	if err != nil {
+		t.Fatalf("PeekHeaderChecksum: %v", err)
+	}
+	env, _, err := ReadArtifact(path, "peek-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256(env.Payload)
+	if sum != hex.EncodeToString(want[:]) {
+		t.Fatalf("peeked sum %s != payload sha256 %x", sum, want)
+	}
+
+	if err := WriteArtifact(path, "peek-test", 1, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := PeekHeaderChecksum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2 == sum {
+		t.Fatal("different payloads peeked the same checksum")
+	}
+
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"raw":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekHeaderChecksum(legacy); !errors.Is(err, ErrNotEnveloped) {
+		t.Fatalf("legacy file: err = %v, want ErrNotEnveloped", err)
+	}
+	if _, err := PeekHeaderChecksum(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file peeked without error")
 	}
 }

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wise/internal/core"
+	"wise/internal/features"
+	"wise/internal/ml"
+	"wise/internal/obs"
+	"wise/internal/perf"
+	"wise/internal/registry"
+	"wise/internal/resilience/faultinject"
+)
+
+// feedback is the self-healing loop around the serving model (RESILIENCE.md
+// "Self-healing serving"): shadow measurements accumulate as labels, the
+// drift detector watches their mismatch rate, and when it trips the
+// controller retrains over the accumulated labels, publishes the candidate
+// to the crash-safe registry, and promotes it only through the canary gate.
+// A promotion opens a probation window; drift tripping inside it rolls the
+// registry back to the previous generation instead of retraining — the
+// automatic response to a promoted model that regresses in production.
+type feedback struct {
+	cfg    Config
+	reg    *registry.Registry // nil: shadow+drift metrics only, no retrain
+	models *modelHolder
+	drift  *driftDetector
+	pool   *shadowPool
+	kick   chan struct{}
+
+	mu            sync.Mutex
+	labels        []perf.MatrixLabels // guarded by mu; bounded shadow-label store
+	probationLeft int                 // guarded by mu; samples left in post-promotion probation
+	skip          map[string]bool     // guarded by mu; generation IDs rolled back, never re-promoted
+}
+
+func newFeedback(cfg Config, reg *registry.Registry, models *modelHolder) *feedback {
+	f := &feedback{
+		cfg:    cfg,
+		reg:    reg,
+		models: models,
+		drift:  newDriftDetector(cfg.DriftWindow, cfg.DriftMinSamples, cfg.DriftTrip, cfg.DriftClear),
+		kick:   make(chan struct{}, 1),
+		skip:   make(map[string]bool),
+	}
+	measure := cfg.ShadowMeasure
+	if measure == nil {
+		measure = measureKernels
+	}
+	f.pool = newShadowPool(cfg.ShadowRate, cfg.ShadowQueue, cfg.ShadowMaxNNZ,
+		cfg.ShadowDeadline, measure, f.onResult)
+	return f
+}
+
+// run drives the loop until ctx cancels: the shadow workers and the single
+// control goroutine that reacts to drift trips. All goroutines are joined
+// before returning, so Serve's drain contract holds.
+func (f *feedback) run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := 0; i < f.cfg.ShadowWorkers; i++ {
+		wg.Add(1)
+		go f.runWorker(ctx, &wg)
+	}
+	defer wg.Wait()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.kick:
+			f.onTrip(ctx)
+		}
+	}
+}
+
+func (f *feedback) runWorker(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	f.pool.run(ctx)
+}
+
+// onResult folds one completed shadow measurement into the loop: classify
+// the measured relative time, compare against the prediction the server
+// answered with, store the corrected label, and feed the drift detector.
+// Runs on shadow workers; everything shared is under mu or the detector's
+// own lock.
+func (f *feedback) onResult(job shadowJob, tSel, tBase float64) {
+	if tBase <= 0 || job.lm != f.models.current() {
+		return // measurement attributed to a generation no longer serving
+	}
+	measured := perf.ClassOf(tSel / tBase)
+	shadowMeasured.Inc()
+	mismatch := measured != job.sel.PredictedClass
+	if mismatch {
+		shadowMismatch.Inc()
+	}
+	f.storeLabel(job, measured)
+	_, tripped := f.drift.record(mismatch)
+	if tripped {
+		select {
+		case f.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// storeLabel converts a measurement into a training label: the served
+// prediction vector with the selected method's class replaced by the
+// measured one and the CSR baseline pinned to its by-definition class
+// (relative time 1.0). The store is bounded at ShadowMaxSamples, dropping
+// the oldest label — the retrain should learn the recent workload.
+func (f *feedback) storeLabel(job shadowJob, measured int) {
+	feat := features.Extract(job.m, job.lm.w.FeatureCfg)
+	classes := make([]int, len(job.sel.Classes))
+	copy(classes, job.sel.Classes)
+	classes[job.lm.fallback] = perf.ClassOf(1.0)
+	classes[job.sel.Index] = measured
+	label := perf.MatrixLabels{
+		Rows: job.m.Rows, Cols: job.m.Cols, NNZ: int64(job.m.NNZ()),
+		Features: feat,
+		Methods:  job.lm.w.Space(),
+		Classes:  classes,
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.labels = append(f.labels, label)
+	if len(f.labels) > f.cfg.ShadowMaxSamples {
+		f.labels = f.labels[len(f.labels)-f.cfg.ShadowMaxSamples:]
+	}
+	if f.probationLeft > 0 {
+		f.probationLeft--
+	}
+}
+
+// onTrip is the control reaction to a drift trip: inside the post-promotion
+// probation window the promoted generation is presumed bad and rolled back;
+// outside it the loop retrains from the accumulated labels. The whole
+// reaction runs quarantined — a panic anywhere in the retrain/promote/
+// rollback machinery (including an injected registry.publish.crash) must
+// cost at most one reaction, never the control loop or the server; the
+// still-tripped detector re-kicks and the registry's crash-safety makes the
+// interrupted step resumable.
+func (f *feedback) onTrip(ctx context.Context) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			retrainsFailed.Inc()
+			obs.Verbosef("serve: feedback control crashed (quarantined): %v", rec)
+		}
+	}()
+	if !f.drift.isTripped() || f.reg == nil {
+		return
+	}
+	f.mu.Lock()
+	probation := f.probationLeft > 0
+	f.mu.Unlock()
+	if probation {
+		f.rollback()
+		return
+	}
+	f.retrain(ctx)
+}
+
+// rollback reverts the registry to the previous generation, remembers the
+// regressed generation so a later retrain cannot re-promote the same bytes,
+// and resets the loop state for the restored model.
+func (f *feedback) rollback() {
+	badID := f.models.current().genID
+	gen, err := f.reg.Rollback()
+	if err != nil {
+		obs.Verbosef("serve: drift during probation but rollback failed: %v", err)
+		return
+	}
+	f.mu.Lock()
+	if badID != "" {
+		f.skip[badID] = true
+	}
+	f.labels = nil
+	f.probationLeft = 0
+	f.mu.Unlock()
+	if err := f.models.Reload(); err != nil {
+		obs.Verbosef("serve: %v", err)
+	}
+	f.drift.reset()
+	driftRollbacks.Inc()
+	obs.Verbosef("serve: drift during probation; rolled back regressed generation %s to %s", badID, gen.ID)
+}
+
+// retrain runs the quarantined retrain-publish-canary sequence. Every
+// failure path is contained: an injected or real training failure, a
+// deadline overrun, or a canary rejection leaves the serving generation
+// untouched and is retried on a later trip (the kick re-fires while the
+// detector stays tripped).
+func (f *feedback) retrain(ctx context.Context) {
+	retrains.Inc()
+	if err := faultinject.Hit("retrain.fail"); err != nil {
+		retrainsFailed.Inc()
+		obs.Verbosef("serve: retrain failed: %v", err)
+		return
+	}
+	labels := f.snapshotLabels()
+	if len(labels) < f.cfg.RetrainMinSamples {
+		obs.Verbosef("serve: drift tripped with %d labels (< %d); waiting for more samples",
+			len(labels), f.cfg.RetrainMinSamples)
+		return
+	}
+	trainIdx, valIdx := ml.HoldoutSplit(len(labels), f.cfg.CanaryHoldout, f.cfg.CanarySeed)
+	if len(trainIdx) == 0 || len(valIdx) == 0 {
+		return
+	}
+	serving := f.models.current()
+	cand, err := f.trainQuarantined(ctx, pickLabels(labels, trainIdx))
+	if err != nil {
+		retrainsFailed.Inc()
+		obs.Verbosef("serve: retrain failed: %v", err)
+		return
+	}
+	gen, err := f.reg.Publish(cand)
+	if err != nil {
+		retrainsFailed.Inc()
+		obs.Verbosef("serve: publishing retrained candidate: %v", err)
+		return
+	}
+	f.mu.Lock()
+	skipped := f.skip[gen.ID]
+	f.mu.Unlock()
+	if skipped {
+		obs.Verbosef("serve: candidate %s was rolled back before; not re-promoting", gen.ID)
+		return
+	}
+	val := pickLabels(labels, valIdx)
+	servingErr := selectionError(serving.w, val)
+	candErr := selectionError(cand, val)
+	err = f.reg.GatedPromote(gen.ID, servingErr, candErr)
+	switch {
+	case errors.Is(err, registry.ErrRejected):
+		obs.Verbosef("serve: %v", err)
+		return
+	case err != nil:
+		retrainsFailed.Inc()
+		obs.Verbosef("serve: promoting retrained candidate: %v", err)
+		return
+	}
+	if err := f.models.Reload(); err != nil {
+		obs.Verbosef("serve: %v", err)
+	}
+	f.mu.Lock()
+	f.labels = nil
+	f.probationLeft = f.cfg.DriftProbation
+	f.mu.Unlock()
+	f.drift.reset()
+	obs.Verbosef("serve: promoted retrained generation %s (val error %.3f beat serving %.3f); probation %d samples",
+		gen.ID, candErr, servingErr, f.cfg.DriftProbation)
+}
+
+func (f *feedback) snapshotLabels() []perf.MatrixLabels {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]perf.MatrixLabels, len(f.labels))
+	copy(out, f.labels)
+	return out
+}
+
+func pickLabels(labels []perf.MatrixLabels, idx []int) []perf.MatrixLabels {
+	out := make([]perf.MatrixLabels, len(idx))
+	for i, j := range idx {
+		out[i] = labels[j]
+	}
+	return out
+}
+
+// trainOutcome carries the quarantined training result across the goroutine
+// boundary.
+type trainOutcome struct {
+	w   *core.WISE
+	err error
+}
+
+// trainQuarantined fits the candidate in its own goroutine under the
+// retrain deadline, with panic recovery — a training crash or hang must
+// never take the control loop (or the server) with it. The goroutine always
+// finishes into the buffered channel, so an abandoned deadline path leaks
+// nothing past the training call itself.
+func (f *feedback) trainQuarantined(ctx context.Context, labels []perf.MatrixLabels) (*core.WISE, error) {
+	ch := make(chan trainOutcome, 1)
+	go f.trainCandidate(labels, ch)
+	timer := time.NewTimer(f.cfg.RetrainDeadline)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.w, out.err
+	case <-timer.C:
+		return nil, fmt.Errorf("serve: retrain exceeded deadline %s", f.cfg.RetrainDeadline)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (f *feedback) trainCandidate(labels []perf.MatrixLabels, ch chan<- trainOutcome) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ch <- trainOutcome{err: fmt.Errorf("serve: retrain panicked: %v", rec)}
+		}
+	}()
+	serving := f.models.current()
+	w, err := core.Train(labels, ml.DefaultTreeConfig(), serving.w.FeatureCfg, serving.w.Mach)
+	ch <- trainOutcome{w: w, err: err}
+}
+
+// selectionError scores a model over held-out labels: the fraction of
+// matrices where the model's method choice differs from the choice the
+// measured classes dictate. This is the canary-gate metric — cheap, and
+// directly the quantity serving quality depends on.
+func selectionError(w *core.WISE, val []perf.MatrixLabels) float64 {
+	if len(val) == 0 {
+		return 0
+	}
+	wrong := 0
+	for i := range val {
+		sel := w.SelectFromFeatures(val[i].Features)
+		if sel.Index != core.SelectFromClasses(val[i].Methods, val[i].Classes) {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(val))
+}

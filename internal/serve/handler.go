@@ -90,11 +90,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	lm := s.models.current()
-	resp := s.selectMethod(ctx, lm, m)
+	resp, sel, predicted := s.selectMethod(ctx, lm, m)
 	resp.Rows, resp.Cols, resp.NNZ = m.Rows, m.Cols, m.NNZ()
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if resp.Degraded {
 		requestsDegraded.Inc()
+	}
+	if predicted && s.feedback != nil {
+		// Off-path shadow measurement of a sampled fraction of healthy
+		// predictions; never blocks or fails the request.
+		s.feedback.pool.offer(m, sel, lm)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -102,11 +107,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // selectMethod is the degradation ladder around the predictor. The breaker
 // decides whether the predictor may run at all; if it runs and fails (error
 // or deadline overrun), the outcome feeds back into the breaker and the
-// response degrades to the fallback method of the serving generation.
-func (s *Server) selectMethod(ctx context.Context, lm *loadedModel, m *matrix.CSR) predictResponse {
+// response degrades to the fallback method of the serving generation. The
+// returned predicted flag is true only when the model actually ran — the
+// shadow sampler measures real predictions, not fallback answers.
+func (s *Server) selectMethod(ctx context.Context, lm *loadedModel, m *matrix.CSR) (predictResponse, core.Selection, bool) {
 	usePredictor, probe := s.breaker.allow()
 	if !usePredictor {
-		return fallbackResponse(lm, reasonBreakerOpen)
+		return fallbackResponse(lm, reasonBreakerOpen), core.Selection{}, false
 	}
 	sel, err := predict(ctx, lm, m)
 	s.breaker.report(err == nil, probe)
@@ -115,14 +122,14 @@ func (s *Server) selectMethod(ctx context.Context, lm *loadedModel, m *matrix.CS
 		if ctx.Err() != nil {
 			reason = reasonDeadline
 		}
-		return fallbackResponse(lm, reason)
+		return fallbackResponse(lm, reason), core.Selection{}, false
 	}
 	return predictResponse{
 		Method:         sel.Method.String(),
 		Index:          sel.Index,
 		PredictedClass: sel.PredictedClass,
 		Classes:        sel.Classes,
-	}
+	}, sel, true
 }
 
 // predict runs the ctx-aware feature-extraction + tree-inference path, with

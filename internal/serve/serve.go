@@ -39,6 +39,7 @@ import (
 	"wise/internal/machine"
 	"wise/internal/matrix"
 	"wise/internal/obs"
+	"wise/internal/registry"
 )
 
 // Config tunes the server. The zero value of any field falls back to the
@@ -60,6 +61,34 @@ type Config struct {
 
 	ReloadPoll   time.Duration // model-file mtime poll; default 2s; < 0 disables polling
 	DrainTimeout time.Duration // shutdown budget for in-flight requests; default 5s
+
+	// Self-healing loop (RESILIENCE.md "Self-healing serving"). RegistryDir
+	// switches the model source from the single -models file to a crash-safe
+	// generation registry (internal/registry); an empty registry is seeded
+	// from ModelPath. ShadowRate > 0 enables shadow measurement of sampled
+	// requests; with a registry it closes the full loop — drift detection,
+	// retrain, canary-gated promotion, probation rollback.
+	RegistryDir string
+
+	ShadowRate       float64       // fraction of requests shadow-measured; 0 disables
+	ShadowWorkers    int           // measurement workers; default 1
+	ShadowQueue      int           // pending measurement bound; default 16
+	ShadowDeadline   time.Duration // per-measurement budget; default 2s
+	ShadowMaxNNZ     int           // skip matrices larger than this; default 2M
+	ShadowMaxSamples int           // shadow-label store bound; default 512
+
+	DriftWindow     int     // mismatch-rate window; default 64
+	DriftMinSamples int     // samples before the detector may trip; default 16
+	DriftTrip       float64 // mismatch rate that trips; default 0.5
+	DriftClear      float64 // rate that releases the trip; default DriftTrip/2
+	DriftProbation  int     // post-promotion probation samples; default 2*DriftMinSamples
+
+	RetrainMinSamples int           // labels required to retrain; default 8
+	RetrainDeadline   time.Duration // quarantined training budget; default 30s
+	CanaryHoldout     float64       // held-out validation fraction; default 0.25
+	CanarySeed        int64         // holdout-split seed; default 1
+
+	ShadowMeasure measureFunc // test hook; nil runs the real kernels
 }
 
 func (c Config) withDefaults() Config {
@@ -93,26 +122,99 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.ShadowRate > 1 {
+		c.ShadowRate = 1
+	}
+	if c.ShadowWorkers <= 0 {
+		c.ShadowWorkers = 1
+	}
+	if c.ShadowQueue <= 0 {
+		c.ShadowQueue = 16
+	}
+	if c.ShadowDeadline <= 0 {
+		c.ShadowDeadline = 2 * time.Second
+	}
+	if c.ShadowMaxNNZ <= 0 {
+		c.ShadowMaxNNZ = 2_000_000
+	}
+	if c.ShadowMaxSamples <= 0 {
+		c.ShadowMaxSamples = 512
+	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 64
+	}
+	if c.DriftMinSamples <= 0 {
+		c.DriftMinSamples = 16
+	}
+	if c.DriftTrip <= 0 || c.DriftTrip > 1 {
+		c.DriftTrip = 0.5
+	}
+	if c.DriftClear <= 0 || c.DriftClear >= c.DriftTrip {
+		c.DriftClear = c.DriftTrip / 2
+	}
+	if c.DriftProbation <= 0 {
+		c.DriftProbation = 2 * c.DriftMinSamples
+	}
+	if c.RetrainMinSamples <= 0 {
+		c.RetrainMinSamples = 8
+	}
+	if c.RetrainDeadline <= 0 {
+		c.RetrainDeadline = 30 * time.Second
+	}
+	if c.CanaryHoldout <= 0 || c.CanaryHoldout >= 1 {
+		c.CanaryHoldout = 0.25
+	}
+	if c.CanarySeed == 0 {
+		c.CanarySeed = 1
+	}
 	return c
 }
 
 // Server is one serving instance. Create with New, expose with Handler (for
 // tests and embedding) or run with Serve (listener + drain lifecycle).
 type Server struct {
-	cfg     Config
-	models  *modelHolder
-	admit   *admission
-	breaker *breaker
-	ready   atomic.Bool
-	mux     *http.ServeMux
+	cfg      Config
+	models   *modelHolder
+	admit    *admission
+	breaker  *breaker
+	reg      *registry.Registry // nil when serving a plain model file
+	feedback *feedback          // nil when ShadowRate is 0
+	ready    atomic.Bool
+	mux      *http.ServeMux
 }
 
-// New loads and validates the model file and assembles the server. A bad
-// model path fails here — startup, not first request — so the CLI can exit 1
-// naming the flag.
+// New loads and validates the model source and assembles the server. A bad
+// model path or registry fails here — startup, not first request — so the
+// CLI can exit 1 naming the flag. With RegistryDir set, an empty registry
+// is seeded from ModelPath with an ungated initial promotion (there is no
+// serving generation to gate against yet).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	models, err := newModelHolder(cfg.ModelPath, cfg.Mach)
+	var src modelSource
+	var reg *registry.Registry
+	if cfg.RegistryDir != "" {
+		var err error
+		reg, err = registry.Open(cfg.RegistryDir, cfg.Mach)
+		if err != nil {
+			return nil, err
+		}
+		if reg.Current() == nil {
+			if cfg.ModelPath == "" {
+				return nil, fmt.Errorf("serve: registry %s is empty and no model file given to seed it", cfg.RegistryDir)
+			}
+			gen, err := reg.ImportFile(cfg.ModelPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := reg.Promote(gen.ID); err != nil {
+				return nil, err
+			}
+		}
+		src = &registrySource{reg: reg}
+	} else {
+		src = &fileSource{path: cfg.ModelPath, mach: cfg.Mach}
+	}
+	models, err := newModelHolder(src)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +223,10 @@ func New(cfg Config) (*Server, error) {
 		models:  models,
 		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		reg:     reg,
+	}
+	if cfg.ShadowRate > 0 {
+		s.feedback = newFeedback(cfg, reg, models)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /predict", s.handlePredict)
@@ -135,6 +241,27 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // ModelCount reports the number of models in the serving generation.
 func (s *Server) ModelCount() int { return len(s.models.current().w.Models) }
+
+// GenerationID reports the registry generation currently serving, or "" for
+// a file-backed server.
+func (s *Server) GenerationID() string { return s.models.current().genID }
+
+// Registry returns the backing model registry, or nil for a file-backed
+// server.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// RunFeedback runs the self-healing loop (shadow workers + drift/retrain
+// controller) until ctx cancels, joining all goroutines before returning.
+// Serve calls it automatically; embedders and tests using Handler directly
+// run it themselves when they want shadow measurement active. A no-op that
+// still blocks on ctx when the loop is disabled, so callers need not branch.
+func (s *Server) RunFeedback(ctx context.Context) {
+	if s.feedback == nil {
+		<-ctx.Done()
+		return
+	}
+	s.feedback.run(ctx)
+}
 
 // Reload forces a model reload (the SIGHUP path, callable directly by
 // tests and embedders). See modelHolder.Reload for the rollback contract.
@@ -162,6 +289,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		defer wg.Done()
 		s.models.watch(watchCtx, s.cfg.ReloadPoll)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.RunFeedback(watchCtx)
 	}()
 	serveErr := make(chan error, 1)
 	wg.Add(1)

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"wise/internal/core"
+	"wise/internal/kernels"
+	"wise/internal/matrix"
+	"wise/internal/obs"
+	"wise/internal/resilience/faultinject"
+)
+
+// shadowJob is one sampled /predict request queued for off-path measurement:
+// the parsed matrix, the selection the server answered with, and the
+// generation that produced it (so a reload mid-flight cannot attribute a
+// measurement to the wrong model).
+type shadowJob struct {
+	m   *matrix.CSR
+	sel core.Selection
+	lm  *loadedModel
+}
+
+// measureFunc measures the selected method against the CSR baseline for one
+// shadow job, honouring the deadline. Returns wall-clock seconds for the
+// selected method and the baseline. Injectable so the deterministic
+// feedback-loop tests can dictate outcomes without timing real kernels.
+type measureFunc func(job shadowJob, deadline time.Time) (tSel, tBase float64, err error)
+
+// errShadowDeadline marks a measurement abandoned at its deadline.
+var errShadowDeadline = errors.New("serve: shadow measurement deadline exceeded")
+
+// shadowPool runs sampled shadow measurements in a bounded worker pool off
+// the request path. Enqueueing never blocks a request: a full queue drops
+// the sample (serve.shadow_dropped), and each worker quarantines panics so
+// a kernel bug in shadow execution cannot take down serving.
+type shadowPool struct {
+	jobs     chan shadowJob
+	period   uint64 // sample every period-th eligible request
+	maxNNZ   int
+	deadline time.Duration
+	measure  measureFunc
+	onResult func(job shadowJob, tSel, tBase float64)
+
+	seen atomic.Uint64 // eligible requests observed, for period sampling
+}
+
+func newShadowPool(rate float64, queue, maxNNZ int, deadline time.Duration,
+	measure measureFunc, onResult func(shadowJob, float64, float64)) *shadowPool {
+	period := uint64(1)
+	if rate < 1 {
+		period = uint64(math.Round(1 / rate))
+	}
+	return &shadowPool{
+		jobs:     make(chan shadowJob, queue),
+		period:   period,
+		maxNNZ:   maxNNZ,
+		deadline: deadline,
+		measure:  measure,
+		onResult: onResult,
+	}
+}
+
+// offer samples the request stream: every period-th healthy prediction is
+// queued for measurement, non-blocking. Deterministic counter-based sampling
+// (rather than a coin flip) keeps the feedback-loop tests reproducible and
+// spreads load evenly.
+func (p *shadowPool) offer(m *matrix.CSR, sel core.Selection, lm *loadedModel) {
+	n := p.seen.Add(1)
+	if (n-1)%p.period != 0 {
+		return
+	}
+	if p.maxNNZ > 0 && m.NNZ() > p.maxNNZ {
+		shadowSkipped.Inc()
+		return
+	}
+	select {
+	case p.jobs <- shadowJob{m: m, sel: sel, lm: lm}:
+		shadowSampled.Inc()
+	default:
+		shadowDropped.Inc()
+	}
+}
+
+// run is one worker: drain jobs until ctx cancels.
+func (p *shadowPool) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-p.jobs:
+			p.processJob(job)
+		}
+	}
+}
+
+// processJob measures one job inside the quarantine: a panic (including the
+// injected shadow.exec.panic fault) is recovered and counted, a deadline
+// overrun is counted and abandoned, and only a clean measurement reaches
+// onResult. Shadow execution shares a process with serving, so this
+// boundary is what keeps a pathological sampled matrix from becoming a
+// crashed server.
+func (p *shadowPool) processJob(job shadowJob) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			shadowPanics.Inc()
+			obs.Verbosef("serve: shadow measurement panicked (quarantined): %v", rec)
+		}
+	}()
+	if err := faultinject.Hit("shadow.exec.panic"); err != nil {
+		panic(fmt.Sprintf("injected: %v", err))
+	}
+	start := time.Now()
+	tSel, tBase, err := p.measure(job, start.Add(p.deadline))
+	shadowSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		if errors.Is(err, errShadowDeadline) {
+			shadowDeadline.Inc()
+		} else {
+			obs.Verbosef("serve: shadow measurement failed: %v", err)
+		}
+		return
+	}
+	p.onResult(job, tSel, tBase)
+}
+
+// measureKernels is the production measureFunc: build the selected format
+// and the generation's CSR fallback, run each serially (one warmup, then
+// minimum over reps), and report wall-clock seconds. Serial execution keeps
+// the shadow lane from stealing the parallel workers that serve requests;
+// the relative time of two serial runs is what perf.ClassOf classifies.
+func measureKernels(job shadowJob, deadline time.Time) (tSel, tBase float64, err error) {
+	const reps = 3
+	m, lm := job.m, job.lm
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, m.Rows)
+
+	selFmt := kernels.Build(m, job.sel.Method, lm.w.Mach.RowBlock)
+	if time.Now().After(deadline) {
+		return 0, 0, errShadowDeadline
+	}
+	baseFmt := kernels.Build(m, lm.w.Models[lm.fallback].Method, lm.w.Mach.RowBlock)
+	if time.Now().After(deadline) {
+		return 0, 0, errShadowDeadline
+	}
+	tSel, err = timeSpMV(selFmt, y, x, reps, deadline)
+	if err != nil {
+		return 0, 0, err
+	}
+	tBase, err = timeSpMV(baseFmt, y, x, reps, deadline)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tSel, tBase, nil
+}
+
+// timeSpMV runs one warmup then reps timed serial SpMVs, returning the
+// minimum wall-clock seconds, abandoning at the deadline.
+func timeSpMV(f kernels.Format, y, x []float64, reps int, deadline time.Time) (float64, error) {
+	f.SpMV(y, x) // warmup: page in the format
+	best := math.Inf(1)
+	for i := 0; i < reps; i++ {
+		if time.Now().After(deadline) {
+			return 0, errShadowDeadline
+		}
+		t0 := time.Now()
+		f.SpMV(y, x)
+		if d := time.Since(t0).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

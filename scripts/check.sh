@@ -20,8 +20,9 @@ mkdir -p results
 go run ./cmd/wise-lint -budget 120s -sarif results/lint.sarif ./...
 go build ./...
 # Focused race gate over the concurrency-heavy packages (worker pools,
-# checkpoint collector, fault injection) before the full module run.
-go test -race ./internal/perf ./internal/ml ./internal/resilience/... ./internal/serve
+# checkpoint collector, fault injection, model registry) before the full
+# module run.
+go test -race ./internal/perf ./internal/ml ./internal/resilience/... ./internal/serve ./internal/registry
 go test -race ./...
 
 # Benchmark smoke: the S preset must run to completion and produce a valid

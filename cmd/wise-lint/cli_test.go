@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles wise-lint once per test binary into a temp dir and
+// returns the executable path plus the module root to run it from.
+func buildCLI(t *testing.T) (string, string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe := filepath.Join(t.TempDir(), "wise-lint")
+	cmd := exec.Command("go", "build", "-o", exe, "./cmd/wise-lint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building wise-lint: %v\n%s", err, out)
+	}
+	return exe, root
+}
+
+// runCLI executes the built binary from the module root and returns its
+// combined output and exit code.
+func runCLI(t *testing.T, exe, root string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(exe, args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if ok := errorsAs(err, &ee); !ok {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func errorsAs(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+// TestCLIUsageErrors pins the exit-2 contract: every malformed flag fails
+// fast with a message naming the flag, before any analysis runs.
+func TestCLIUsageErrors(t *testing.T) {
+	exe, root := buildCLI(t)
+	regularFile := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(regularFile, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"jobs zero", []string{"-jobs", "0", "./..."}, "invalid -jobs"},
+		{"jobs negative", []string{"-jobs", "-3", "./..."}, "invalid -jobs"},
+		{"cache is a file", []string{"-cache", regularFile, "./..."}, "invalid -cache"},
+		{"unknown analyzer", []string{"-analyzers", "nosuchanalyzer", "./..."}, "unknown analyzer"},
+		{"unknown pattern", []string{"./no/such/dir"}, "unknown package pattern"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runCLI(t, exe, root, tc.args...)
+			if code != 2 {
+				t.Errorf("%v: exit %d, want 2\n%s", tc.args, code, out)
+			}
+			if !strings.Contains(out, tc.wantMsg) {
+				t.Errorf("%v: output %q should contain %q", tc.args, out, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestCLIEngineCleanRun exercises the engine path end to end on the real
+// tree: cold populate, then a warm run that must also exit 0.
+func TestCLIEngineCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree CLI run skipped in -short")
+	}
+	exe, root := buildCLI(t)
+	cacheDir := t.TempDir()
+	for _, label := range []string{"cold", "warm"} {
+		out, code := runCLI(t, exe, root, "-cache", cacheDir, "-jobs", "8", "./...")
+		if code != 0 {
+			t.Fatalf("%s run: exit %d, want 0\n%s", label, code, out)
+		}
+	}
+}
+
+// TestCLIBudgetPartialSARIF blows an absurdly small budget and checks the
+// contract from LINTING.md: exit 1, a "partial" notice, and a SARIF log that
+// still carries wallClockSeconds and budgetSeconds.
+func TestCLIBudgetPartialSARIF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree CLI run skipped in -short")
+	}
+	exe, root := buildCLI(t)
+	sarifPath := filepath.Join(t.TempDir(), "lint.sarif")
+	out, code := runCLI(t, exe, root, "-budget", "1ns", "-sarif", sarifPath, "./...")
+	if code != 1 {
+		t.Fatalf("blown budget: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "partial") {
+		t.Errorf("blown-budget output should mention the partial report, got:\n%s", out)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("partial SARIF was not written: %v", err)
+	}
+	var doc struct {
+		Runs []struct {
+			Properties map[string]any `json:"properties"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("partial SARIF is not valid JSON: %v", err)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("want 1 SARIF run, got %d", len(doc.Runs))
+	}
+	props := doc.Runs[0].Properties
+	if _, ok := props["wallClockSeconds"]; !ok {
+		t.Error("partial SARIF should record wallClockSeconds")
+	}
+	if _, ok := props["budgetSeconds"]; !ok {
+		t.Error("partial SARIF should record budgetSeconds")
+	}
+}

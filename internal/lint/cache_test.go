@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cacheEntryFiles lists the entry files the engine persisted under the
+// versioned cache directory.
+func cacheEntryFiles(t *testing.T, cacheDir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(cacheDir, "v*", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no cache entries were written")
+	}
+	return matches
+}
+
+// warmMiniCache runs the engine twice over a fresh mini module and returns
+// the module dir, cache dir, and the (fully cached) report bytes.
+func warmMiniCache(t *testing.T) (string, string, []byte) {
+	t.Helper()
+	dir := writeMiniModule(t)
+	cacheDir := t.TempDir()
+	opts := EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 2}
+	if _, _, err := RunEngine(All(), opts); err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, err := RunEngine(All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FullyCached {
+		t.Fatalf("expected a fully cached warm run, got %+v", stats)
+	}
+	return dir, cacheDir, findingsJSON(t, warm)
+}
+
+// TestCacheCorruptEntrySilentlyReanalyzes overwrites one persisted entry
+// with garbage: the engine must treat it as a miss, re-analyze, emit the
+// identical report, and heal the entry for the next run.
+func TestCacheCorruptEntrySilentlyReanalyzes(t *testing.T) {
+	dir, cacheDir, want := warmMiniCache(t)
+	entries := cacheEntryFiles(t, cacheDir)
+	if err := os.WriteFile(entries[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 2}
+	got, stats, err := RunEngine(All(), opts)
+	if err != nil {
+		t.Fatalf("a corrupt entry must never surface as an error: %v", err)
+	}
+	if stats.CacheMisses == 0 {
+		t.Error("corrupt entry should register as a miss")
+	}
+	if !bytes.Equal(findingsJSON(t, got), want) {
+		t.Errorf("report changed after cache corruption:\nwant: %s\ngot:  %s", want, findingsJSON(t, got))
+	}
+	// The re-analysis healed the entry: the next run is fully cached again.
+	if _, stats, err = RunEngine(All(), opts); err != nil || !stats.FullyCached {
+		t.Errorf("cache did not heal after corruption: stats=%+v err=%v", stats, err)
+	}
+}
+
+// TestCacheTruncatedEntrySilentlyReanalyzes cuts a valid entry in half —
+// the crash-mid-write shape — and expects the same silent re-analysis.
+func TestCacheTruncatedEntrySilentlyReanalyzes(t *testing.T) {
+	dir, cacheDir, want := warmMiniCache(t)
+	entries := cacheEntryFiles(t, cacheDir)
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats, err := RunEngine(All(), EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 2})
+	if err != nil {
+		t.Fatalf("a truncated entry must never surface as an error: %v", err)
+	}
+	if stats.FullyCached {
+		t.Error("truncated entry should have forced a re-analysis")
+	}
+	if !bytes.Equal(findingsJSON(t, got), want) {
+		t.Errorf("report changed after truncation:\nwant: %s\ngot:  %s", want, findingsJSON(t, got))
+	}
+}
+
+// TestCacheWrongKeyEntryIsMiss swaps two entries' contents: each file now
+// deserializes cleanly but declares the other's key, which load must reject.
+func TestCacheWrongKeyEntryIsMiss(t *testing.T) {
+	dir, cacheDir, want := warmMiniCache(t)
+	entries := cacheEntryFiles(t, cacheDir)
+	if len(entries) < 2 {
+		t.Fatalf("need at least two entries to swap, got %d", len(entries))
+	}
+	a, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(entries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[1], a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats, err := RunEngine(All(), EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheMisses < 2 {
+		t.Errorf("both swapped entries should miss, got %d misses", stats.CacheMisses)
+	}
+	if !bytes.Equal(findingsJSON(t, got), want) {
+		t.Errorf("report changed after key swap:\nwant: %s\ngot:  %s", want, findingsJSON(t, got))
+	}
+}
+
+// TestCacheSchemaBumpFullMiss proves the wholesale-invalidation property:
+// bumping cacheSchema orphans every existing entry, the next run is fully
+// cold, and the report is unchanged.
+func TestCacheSchemaBumpFullMiss(t *testing.T) {
+	dir, cacheDir, want := warmMiniCache(t)
+
+	cacheSchema++
+	defer func() { cacheSchema-- }()
+
+	got, stats, err := RunEngine(All(), EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Errorf("schema bump must invalidate everything, got %d hits", stats.CacheHits)
+	}
+	if !bytes.Equal(findingsJSON(t, got), want) {
+		t.Errorf("report changed across schema bump:\nwant: %s\ngot:  %s", want, findingsJSON(t, got))
+	}
+}

@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the wise-lint v4 incremental analysis engine (LINTING.md).
+// It splits the analyzer suite into two cacheable tiers per package — the
+// package-scoped tier and the ModuleFacts tier — keys each tier's findings
+// by content hashes (cache.go), and schedules package analysis across a
+// worker pool. The shape is the paper's own inspector-executor lesson
+// applied to the linter: pay the expensive inspection once, persist the
+// facts, and reuse them until the inputs change.
+//
+// The engine's contract, regression-tested in engine_test.go:
+//
+//   - determinism: serial, -jobs N, cold-cache, and warm-cache runs produce
+//     byte-identical reports (findings are merged in topological package
+//     order and fully sorted, so scheduling can never leak into output);
+//   - soundness: a package re-runs whenever its own sources, anything in its
+//     import cone, or (for module-tier analyzers) anything in the module
+//     changes; corrupt or truncated cache entries silently re-analyze;
+//   - speed: a fully-warm run never parses or type-checks at all.
+
+// EngineOptions configures one engine run.
+type EngineOptions struct {
+	Dir      string // start directory for module discovery ("" = ".")
+	CacheDir string // on-disk fact cache root ("" = no cache)
+	Jobs     int    // analysis/type-check parallelism (<= 0 = GOMAXPROCS)
+
+	// Budget, when positive, bounds the run's wall clock: once blown,
+	// in-flight package analyses finish their current analyzer and every
+	// remaining one is skipped. The partial findings are still returned
+	// (and reported), Stats.BudgetExceeded is set, and nothing partial is
+	// written to the cache.
+	Budget time.Duration
+	Now    func() time.Time // injectable clock for budget tests (nil = time.Now)
+}
+
+// EngineStats describes what one engine run did.
+type EngineStats struct {
+	Root           string // module root
+	Packages       int    // module packages considered
+	CacheHits      int    // tier entries served from the cache
+	CacheMisses    int    // tier entries analyzed (or skipped by budget)
+	FullyCached    bool   // every tier of every package hit: nothing was parsed
+	BudgetExceeded bool   // the wall-clock budget blew mid-run
+}
+
+// RunEngine analyzes the module containing opts.Dir with the given analyzers
+// through the incremental engine. The returned findings are identical to
+// lint.Run over a classic LoadModule — that equivalence, across every
+// jobs/cache combination, is the engine's core regression test.
+func RunEngine(analyzers []*Analyzer, opts EngineOptions) ([]Finding, EngineStats, error) {
+	var stats EngineStats
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	var deadline time.Time
+	var blown atomic.Bool
+	if opts.Budget > 0 {
+		deadline = now().Add(opts.Budget)
+	}
+	cancelled := func() bool {
+		if opts.Budget <= 0 {
+			return false
+		}
+		if blown.Load() {
+			return true
+		}
+		if now().After(deadline) {
+			blown.Store(true)
+			return true
+		}
+		return false
+	}
+
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Root = root
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, stats, err
+	}
+	cache, err := openFactCache(opts.CacheDir)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	metas, order, err := scanModule(root, modPath)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Packages = len(order)
+	computeDepKeys(metas, order)
+	gomodHash, err := hashFiles(root, []string{"go.mod"})
+	if err != nil {
+		return nil, stats, err
+	}
+	modState := moduleStateHash(metas, gomodHash)
+
+	// Tier split. The malformed-//lint:ignore meta findings are emitted by
+	// exactly one tier — the first non-empty one — and that choice is part
+	// of the cache key (metaTag) so entries written under one analyzer
+	// subset can never double- or zero-emit meta findings under another.
+	var localTier, moduleTier []*Analyzer
+	for _, a := range analyzers {
+		if a.ModuleFacts {
+			moduleTier = append(moduleTier, a)
+		} else {
+			localTier = append(localTier, a)
+		}
+	}
+	localMeta := len(localTier) > 0
+	localNames := tierNames(localTier) + metaTag(localMeta)
+	moduleNames := tierNames(moduleTier) + metaTag(!localMeta)
+
+	type pkgKeys struct{ local, module string }
+	keys := make(map[string]pkgKeys, len(order))
+	for _, path := range order {
+		m := metas[path]
+		keys[path] = pkgKeys{
+			local:  localKey(m, localNames),
+			module: moduleKey(m, moduleNames, modState),
+		}
+	}
+
+	// Warm probe: if every needed tier of every package hits, the run is
+	// pure cache rehydration — no parsing, no type-checking. This is where
+	// the >=3x warm speedup comes from.
+	type tierResult struct {
+		local, module         []Finding
+		localHit, moduleHit   bool
+		localSkip, moduleSkip bool // budget-skipped: do not cache, findings partial
+	}
+	results := make(map[string]*tierResult, len(order))
+	allHit := true
+	for _, path := range order {
+		r := &tierResult{}
+		if len(localTier) > 0 {
+			r.local, r.localHit = cache.load(root, keys[path].local)
+		} else {
+			r.localHit = true
+		}
+		if len(moduleTier) > 0 {
+			r.module, r.moduleHit = cache.load(root, keys[path].module)
+		} else {
+			r.moduleHit = true
+		}
+		if !r.localHit || !r.moduleHit {
+			allHit = false
+		}
+		results[path] = r
+	}
+	countTier := func(hit bool) {
+		if hit {
+			stats.CacheHits++
+		} else {
+			stats.CacheMisses++
+		}
+	}
+	for _, path := range order {
+		r := results[path]
+		if len(localTier) > 0 {
+			countTier(r.localHit)
+		}
+		if len(moduleTier) > 0 {
+			countTier(r.moduleHit)
+		}
+	}
+	merge := func() []Finding {
+		var out []Finding
+		for _, path := range order {
+			out = append(out, results[path].local...)
+			out = append(out, results[path].module...)
+		}
+		sortFindings(out)
+		return out
+	}
+	if allHit {
+		stats.FullyCached = true
+		stats.BudgetExceeded = cancelled()
+		return merge(), stats, nil
+	}
+	if cancelled() {
+		// Budget blown before analysis even started: report what the cache
+		// already holds, nothing more.
+		stats.BudgetExceeded = true
+		for _, r := range results {
+			if !r.localHit {
+				r.local = nil
+			}
+			if !r.moduleHit {
+				r.module = nil
+			}
+		}
+		return merge(), stats, nil
+	}
+
+	mod, err := LoadModuleJobs(root, jobs)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Analyze misses with a worker pool. Packages are independent once the
+	// module is fully type-checked (the shared interprocedural analysis is
+	// built once under analysisOnce; per-unit dataflow is mutex-cached), so
+	// scheduling order is irrelevant — merge() re-imposes the deterministic
+	// order afterwards.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, jobs)
+	for _, pkg := range mod.Packages {
+		r := results[pkg.Path]
+		if r == nil || (r.localHit && r.moduleHit) {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pkg *Package, r *tierResult) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			k := keys[pkg.Path]
+			if !r.localHit {
+				if cancelled() {
+					r.localSkip = true
+				} else {
+					r.local = runPackageTier(mod, pkg, localTier, localMeta, cancelled)
+					if cancelled() {
+						r.localSkip = true // partial: keep findings, skip store
+					} else {
+						cache.store(root, k.local, r.local)
+					}
+				}
+			}
+			if !r.moduleHit {
+				if cancelled() {
+					r.moduleSkip = true
+				} else {
+					r.module = runPackageTier(mod, pkg, moduleTier, !localMeta, cancelled)
+					if cancelled() {
+						r.moduleSkip = true
+					} else {
+						cache.store(root, k.module, r.module)
+					}
+				}
+			}
+		}(pkg, r)
+	}
+	wg.Wait()
+	stats.BudgetExceeded = cancelled()
+	return merge(), stats, nil
+}
+
+func metaTag(includeMeta bool) string {
+	if includeMeta {
+		return "+meta"
+	}
+	return "-meta"
+}
+
+// scanModule is the engine's no-parse package discovery: it walks the module
+// exactly like the loader (same skip rules), reads every Go file once to
+// hash it, and extracts imports with an ImportsOnly parse — enough to build
+// the dependency DAG and all cache keys without type-checking anything.
+func scanModule(root, modPath string) (map[string]*pkgMeta, []string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(dirs)
+
+	metas := make(map[string]*pkgMeta)
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		importPath := modPath
+		if rel, err := filepath.Rel(root, dir); err == nil && rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		m := &pkgMeta{Path: importPath, Dir: dir}
+		imports := make(map[string]bool)
+		srcHash := []string{"src"}
+		testHash := []string{"test"}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				m.TestFiles = append(m.TestFiles, name)
+				testHash = append(testHash, name, hashStrings(string(data)))
+				continue
+			}
+			m.SrcFiles = append(m.SrcFiles, name)
+			srcHash = append(srcHash, name, hashStrings(string(data)))
+			f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: scanning %s: %w", filepath.Join(dir, name), err)
+			}
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					imports[ip] = true
+				}
+			}
+		}
+		if len(m.SrcFiles) == 0 {
+			continue
+		}
+		m.srcHash = hashStrings(srcHash...)
+		m.testHash = hashStrings(testHash...)
+		for ip := range imports {
+			m.Imports = append(m.Imports, ip)
+		}
+		sort.Strings(m.Imports)
+		m.deps = m.Imports
+		metas[m.Path] = m
+	}
+
+	order, err := metaTopoOrder(metas)
+	if err != nil {
+		return nil, nil, err
+	}
+	return metas, order, nil
+}
+
+// metaTopoOrder sorts scanned packages so every package follows its
+// module-internal imports — the same deterministic order the loader uses,
+// so merged findings match the classic path byte for byte.
+func metaTopoOrder(metas map[string]*pkgMeta) ([]string, error) {
+	const (
+		white = iota
+		gray
+		black
+	)
+	state := make(map[string]int, len(metas))
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = gray
+		for _, d := range metas[path].deps {
+			if metas[d] == nil {
+				continue // import of a module path with no non-test files: loader errors, scan tolerates
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(metas))
+	for p := range metas {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// writeMiniModule lays down a tiny two-package module with one errdrop
+// finding (package a) and one malformed //lint:ignore meta finding
+// (package b, which imports a) — enough surface to exercise both cache
+// tiers, the dependency DAG, and the meta-emitted-exactly-once rule
+// without the cost of loading the real tree.
+func writeMiniModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module mini\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func fail() error { return nil }
+
+// Drop discards fail's error, which errdrop reports.
+func Drop() {
+	fail()
+}
+`,
+		"b/b.go": `package b
+
+import "mini/a"
+
+//lint:ignore
+func Use() { a.Drop() }
+`,
+	}
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// appendComment touches a source file without changing its findings.
+func appendComment(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString("\n// touched\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// findingsJSON renders findings the way the CLI does, for byte comparison.
+func findingsJSON(t *testing.T, fs []Finding) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEngineMatchesClassicRun is the core equivalence contract: the engine,
+// at any job count and with or without a cache, reports byte-for-byte what
+// the classic serial Run reports.
+func TestEngineMatchesClassicRun(t *testing.T) {
+	dir := writeMiniModule(t)
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := findingsJSON(t, Run(mod, All()))
+	if !bytes.Contains(classic, []byte("errdrop")) || !bytes.Contains(classic, []byte("malformed")) {
+		t.Fatalf("mini module should produce an errdrop and a malformed-ignore finding, got: %s", classic)
+	}
+	for _, jobs := range []int{1, 8} {
+		got, stats, err := RunEngine(All(), EngineOptions{Dir: dir, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if stats.Packages != 2 {
+			t.Fatalf("jobs=%d: saw %d packages, want 2", jobs, stats.Packages)
+		}
+		if gotJSON := findingsJSON(t, got); !bytes.Equal(gotJSON, classic) {
+			t.Errorf("jobs=%d: engine diverged from classic run:\nengine:  %s\nclassic: %s", jobs, gotJSON, classic)
+		}
+	}
+}
+
+// TestEngineWarmCacheIdentical checks the cold-vs-warm determinism half of
+// the contract: a fully warm run touches no source files and still emits the
+// identical report.
+func TestEngineWarmCacheIdentical(t *testing.T) {
+	dir := writeMiniModule(t)
+	cacheDir := t.TempDir()
+	opts := EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 8}
+
+	cold, coldStats, err := RunEngine(All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.CacheHits != 0 || coldStats.CacheMisses != 4 {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/4 (2 packages x 2 tiers)", coldStats.CacheHits, coldStats.CacheMisses)
+	}
+	warm, warmStats, err := RunEngine(All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmStats.FullyCached {
+		t.Error("warm run on an unchanged tree should be fully cached")
+	}
+	if warmStats.CacheHits != 4 || warmStats.CacheMisses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want 4/0", warmStats.CacheHits, warmStats.CacheMisses)
+	}
+	if !bytes.Equal(findingsJSON(t, cold), findingsJSON(t, warm)) {
+		t.Errorf("warm report diverged from cold:\ncold: %s\nwarm: %s", findingsJSON(t, cold), findingsJSON(t, warm))
+	}
+}
+
+// TestEngineIncrementalInvalidation pins down exactly which tiers re-run
+// after an edit: touching a leaf re-runs it and every module-tier entry
+// (interprocedural facts flow from callers) but leaves untouched local
+// tiers cached; touching a dependency re-runs its whole reverse cone.
+func TestEngineIncrementalInvalidation(t *testing.T) {
+	dir := writeMiniModule(t)
+	cacheDir := t.TempDir()
+	opts := EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 2}
+	base, _, err := RunEngine(All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit the leaf package b: a's local tier is the only survivor.
+	appendComment(t, filepath.Join(dir, "b", "b.go"))
+	got, stats, err := RunEngine(All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 || stats.CacheMisses != 3 {
+		t.Errorf("after editing leaf b: hits=%d misses=%d, want 1/3 (only a's local tier cached)", stats.CacheHits, stats.CacheMisses)
+	}
+	if !bytes.Equal(findingsJSON(t, base), findingsJSON(t, got)) {
+		t.Errorf("findings changed after a comment-only edit:\nbefore: %s\nafter:  %s", findingsJSON(t, base), findingsJSON(t, got))
+	}
+
+	// Re-warm, then edit the dependency a: b's import cone contains a, so
+	// nothing survives.
+	if _, stats, err = RunEngine(All(), opts); err != nil || !stats.FullyCached {
+		t.Fatalf("re-warm failed: stats=%+v err=%v", stats, err)
+	}
+	appendComment(t, filepath.Join(dir, "a", "a.go"))
+	_, stats, err = RunEngine(All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 || stats.CacheMisses != 4 {
+		t.Errorf("after editing dependency a: hits=%d misses=%d, want 0/4", stats.CacheHits, stats.CacheMisses)
+	}
+}
+
+// TestEngineBudgetCancelsAndSkipsCache drives the engine with a fake clock
+// that blows the budget the moment analysis would start: every miss is
+// skipped, the partial (cached-only) report is still returned, and nothing
+// partial is ever written to the cache.
+func TestEngineBudgetCancelsAndSkipsCache(t *testing.T) {
+	dir := writeMiniModule(t)
+	cacheDir := t.TempDir()
+	base := time.Unix(1_700_000_000, 0)
+	var calls atomic.Int64
+	clock := func() time.Time {
+		// Call 1 computes the deadline, call 2 is the pre-load check; every
+		// later call (the per-package and per-analyzer checks) is past it.
+		if calls.Add(1) <= 2 {
+			return base
+		}
+		return base.Add(time.Hour)
+	}
+	got, stats, err := RunEngine(All(), EngineOptions{
+		Dir: dir, CacheDir: cacheDir, Jobs: 1, Budget: time.Second, Now: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetExceeded {
+		t.Error("BudgetExceeded should be set when the clock blows past the deadline")
+	}
+	if len(got) != 0 {
+		t.Errorf("every analysis was cancelled before running, want no findings, got %d", len(got))
+	}
+
+	// The blown run must not have cached its skipped (empty) tiers: a fresh
+	// run with a sane clock sees a completely cold cache.
+	_, stats, err = RunEngine(All(), EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Errorf("cancelled run leaked %d entries into the cache; partial results must never be stored", stats.CacheHits)
+	}
+}
+
+// TestEngineBudgetPartialReport warms the cache, invalidates one package,
+// and blows the budget immediately: the still-valid cached tier is reported,
+// the invalidated ones are skipped — a deterministic partial report.
+func TestEngineBudgetPartialReport(t *testing.T) {
+	dir := writeMiniModule(t)
+	cacheDir := t.TempDir()
+	if _, _, err := RunEngine(All(), EngineOptions{Dir: dir, CacheDir: cacheDir, Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	appendComment(t, filepath.Join(dir, "b", "b.go"))
+
+	base := time.Unix(1_700_000_000, 0)
+	var calls atomic.Int64
+	clock := func() time.Time {
+		if calls.Add(1) <= 2 {
+			return base
+		}
+		return base.Add(time.Hour)
+	}
+	got, stats, err := RunEngine(All(), EngineOptions{
+		Dir: dir, CacheDir: cacheDir, Jobs: 1, Budget: time.Second, Now: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetExceeded {
+		t.Error("BudgetExceeded should be set")
+	}
+	// a's local tier survived the edit and must appear; b's tiers (and all
+	// module tiers) were invalidated and skipped.
+	if len(got) != 1 || got[0].Analyzer != "errdrop" {
+		t.Errorf("partial report should hold exactly a's cached errdrop finding, got %v", got)
+	}
+}
+
+// TestEngineWarmSpeedupRealTree is the acceptance benchmark on the real
+// module: a fully warm run must be at least 3x faster than the cold run that
+// populated the cache, while producing a byte-identical report — at any job
+// count, with or without the cache.
+func TestEngineWarmSpeedupRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-tree engine benchmark skipped in -short")
+	}
+	cacheDir := t.TempDir()
+
+	serial, _, err := RunEngine(All(), EngineOptions{Dir: ".", Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialJSON := findingsJSON(t, serial)
+
+	t0 := time.Now()
+	cold, _, err := RunEngine(All(), EngineOptions{Dir: ".", CacheDir: cacheDir, Jobs: 8})
+	coldTime := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := time.Now()
+	warm, warmStats, err := RunEngine(All(), EngineOptions{Dir: ".", CacheDir: cacheDir, Jobs: 8})
+	warmTime := time.Since(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmStats.FullyCached {
+		t.Errorf("warm real-tree run should be fully cached: %+v", warmStats)
+	}
+	coldJSON, warmJSON := findingsJSON(t, cold), findingsJSON(t, warm)
+	if !bytes.Equal(serialJSON, coldJSON) {
+		t.Error("jobs=8 cold report diverged from the serial no-cache report")
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Error("warm report diverged from cold report")
+	}
+	ratio := float64(coldTime) / float64(warmTime)
+	t.Logf("real tree: cold %v, warm %v — %.1fx speedup (%d packages, %d cached tiers)",
+		coldTime.Round(time.Millisecond), warmTime.Round(time.Millisecond), ratio, warmStats.Packages, warmStats.CacheHits)
+	if ratio < 3 {
+		t.Errorf("warm run only %.1fx faster than cold, want >= 3x (cold %v, warm %v)", ratio, coldTime, warmTime)
+	}
+}

@@ -1,0 +1,51 @@
+// Fixture: true positives for the numsafety analyzer.
+//
+//lint:path wise/internal/ml/lintfixture
+package lintfixture
+
+// badTruncateNNZ narrows an entry count with no bound check anywhere in the
+// function: past 2^31 entries the conversion silently wraps negative.
+func badTruncateNNZ(nnz int) int32 {
+	return int32(nnz) // want numsafety
+}
+
+// badTruncateArith narrows index arithmetic.
+func badTruncateArith(row, stride int64) int32 {
+	return int32(row * stride) // want numsafety
+}
+
+// badTruncateLen narrows a length.
+func badTruncateLen(colIdx []int64) int32 {
+	return int32(len(colIdx)) // want numsafety
+}
+
+// badAccumulatorEq sums rounding error and then tests it for exact zero.
+func badAccumulatorEq(vals []float64) bool {
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum == 0 // want numsafety
+}
+
+// badAccumulatorNeq is the != spelling of the same mistake.
+func badAccumulatorNeq(vals []float64) bool {
+	total := 0.0
+	for _, v := range vals {
+		total = total - v
+	}
+	return total != 1.0 // want numsafety
+}
+
+type badModel struct{ thresholds []float64 }
+
+// FitRaw trains on float features without ever screening for NaN/Inf.
+func FitRaw(x [][]float64, y []int) *badModel { // want numsafety
+	m := &badModel{}
+	for _, row := range x {
+		for _, v := range row {
+			m.thresholds = append(m.thresholds, v)
+		}
+	}
+	return m
+}

@@ -115,6 +115,12 @@ func ReadMatrixMarketLimited(r io.Reader, lim ReadLimits) (*CSR, error) {
 		return nil, fmt.Errorf("%w: %dx%d with %d entries exceeds read limits %dx%d/%d",
 			ErrDimension, rows, cols, nnz, lim.MaxRows, lim.MaxCols, lim.MaxNNZ)
 	}
+	// Entry coordinates are stored as int32 (COO entries, CSR ColIdx), so a
+	// caller-supplied limit above the int32 index space must not let the
+	// int32 conversions below truncate silently on a huge-but-admitted file.
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %dx%d exceeds the int32 index space", ErrDimension, rows, cols)
+	}
 	// The MatrixMarket spec defines symmetry only for square matrices; the
 	// mirrored entry of a rectangular "symmetric" file could land outside
 	// the matrix.

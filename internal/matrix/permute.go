@@ -34,6 +34,7 @@ func (p Permutation) Valid() bool {
 func (p Permutation) Inverse() Permutation {
 	inv := make(Permutation, len(p))
 	for newPos, oldPos := range p {
+		//lint:ignore numsafety newPos < len(p), and a Permutation longer than MaxInt32 cannot exist: its own int32 elements could not index it
 		inv[oldPos] = int32(newPos)
 	}
 	return inv

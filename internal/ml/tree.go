@@ -30,7 +30,10 @@ type Dataset struct {
 	FeatureNames []string // optional, used for model introspection
 }
 
-// Validate checks shape consistency and label ranges.
+// Validate checks shape consistency, label ranges, and feature finiteness.
+// Non-finite features are rejected here rather than tolerated downstream: a
+// NaN compares false with everything, so it silently falls to one side of
+// every split threshold and corrupts the learned tree with no error anywhere.
 func (d Dataset) Validate() error {
 	if len(d.X) != len(d.Y) {
 		return fmt.Errorf("ml: %d samples vs %d labels", len(d.X), len(d.Y))
@@ -48,6 +51,11 @@ func (d Dataset) Validate() error {
 		}
 		if d.Y[i] < 0 || d.Y[i] >= d.NumClasses {
 			return fmt.Errorf("ml: label %d out of range at sample %d", d.Y[i], i)
+		}
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ml: non-finite feature %g at sample %d, feature %d", v, i, j)
+			}
 		}
 	}
 	return nil

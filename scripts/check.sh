@@ -14,10 +14,12 @@ fi
 
 go vet ./...
 mkdir -p results
-# The 120s budget keeps the interprocedural v3 pass (call graph + lock
+# The 120s budget keeps the interprocedural pass (call graph + lock
 # dataflow, LINTING.md) from quietly making the pre-PR gate unusable; the
 # measured wall-clock lands in the SARIF run properties for CI to audit.
-go run ./cmd/wise-lint -budget 120s -sarif results/lint.sarif ./...
+# -cache .lintcache makes repeat local runs incremental (v4 engine): only
+# packages whose import cone changed since the last run are re-analyzed.
+go run ./cmd/wise-lint -budget 120s -cache .lintcache -jobs "$(nproc 2>/dev/null || echo 4)" -sarif results/lint.sarif ./...
 go build ./...
 # Focused race gate over the concurrency-heavy packages (worker pools,
 # checkpoint collector, fault injection, model registry) before the full

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -249,6 +250,7 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad fault spec", "wise-train", []string{"-small"}, []string{"WISE_FAULTS=not-a-spec"}, 2, "WISE_FAULTS"},
 		{"serve stray arg", "wise-serve", []string{"stray"}, nil, 2, "usage"},
 		{"serve missing models", "wise-serve", []string{"-models", filepath.Join(tmp, "nope.json")}, nil, 1, "-models"},
+		{"serve session bytes", "wise-serve", []string{"-session-bytes", "-1"}, nil, 2, "-session-bytes"},
 		{"serve shadow rate range", "wise-serve", []string{"-shadow-rate", "1.5"}, nil, 2, "-shadow-rate"},
 		{"serve shadow workers", "wise-serve", []string{"-shadow-workers", "0"}, nil, 2, "-shadow-workers"},
 		{"serve drift window", "wise-serve", []string{"-drift-window", "-1"}, nil, 2, "-drift-window"},
@@ -337,7 +339,8 @@ func TestCLIServeLifecycle(t *testing.T) {
 	}
 
 	dir := buildCLIs(t)
-	cmd := exec.Command(filepath.Join(dir, "wise-serve"), "-models", models, "-addr", "127.0.0.1:0")
+	cmd := exec.Command(filepath.Join(dir, "wise-serve"), "-models", models, "-addr", "127.0.0.1:0",
+		"-session-spill", filepath.Join(tmp, "spill"))
 	var errBuf bytes.Buffer
 	cmd.Stderr = &errBuf
 	stdout, err := cmd.StdoutPipe()
@@ -385,6 +388,31 @@ func TestCLIServeLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"method"`) {
 		t.Fatalf("/predict: status %d body %s", resp.StatusCode, data)
+	}
+
+	// Stateful round-trip: upload once, execute warm by fingerprint.
+	resp, err = http.Post(url+"/matrix", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /matrix: %v", err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stored struct {
+		Fingerprint string `json:"fingerprint"`
+		Stored      bool   `json:"stored"`
+	}
+	if err := json.Unmarshal(data, &stored); err != nil || resp.StatusCode != http.StatusOK || !stored.Stored {
+		t.Fatalf("/matrix: status %d body %s err %v", resp.StatusCode, data, err)
+	}
+	resp, err = http.Post(url+"/spmv", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"fingerprint":%q,"iterations":2}`, stored.Fingerprint)))
+	if err != nil {
+		t.Fatalf("POST /spmv: %v", err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"warm":true`) {
+		t.Fatalf("/spmv by fingerprint: status %d body %s, want warm execution", resp.StatusCode, data)
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

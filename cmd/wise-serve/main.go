@@ -10,6 +10,21 @@
 //	wise-serve -models models.json -addr 127.0.0.1:8080
 //	curl -sS --data-binary @matrix.mtx http://127.0.0.1:8080/predict
 //
+// Stateful serving (RESILIENCE.md "Stateful serving"): POST the matrix once
+// to /matrix and reuse its content fingerprint — warm requests skip parse,
+// feature extraction, and format conversion entirely. /spmv executes the
+// product with the predicted kernel, by fingerprint or with an inline body:
+//
+//	fp=$(curl -sS --data-binary @matrix.mtx http://127.0.0.1:8080/matrix | jq -r .fingerprint)
+//	curl -sS "http://127.0.0.1:8080/predict?fp=$fp"
+//	curl -sS -d "{\"fingerprint\":\"$fp\",\"iterations\":8}" http://127.0.0.1:8080/spmv
+//
+// Prepared sessions live in a byte-budgeted LRU (-session-bytes); with
+// -session-spill they are persisted as checksummed envelopes and rehydrated
+// after a restart (corrupt files are quarantined, never served). When the
+// budget is saturated the server answers statelessly, marked degraded —
+// never a refusal.
+//
 // With -registry the model lives in a crash-safe generation registry
 // (internal/registry), and -shadow-rate enables the self-healing loop
 // (RESILIENCE.md "Self-healing serving"): sampled requests are re-executed
@@ -78,6 +93,9 @@ func run() int {
 		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive predictor failures that trip the circuit breaker")
 		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long the tripped breaker stays open before probing")
 
+		sessionBytes = flag.Int64("session-bytes", 256<<20, "prepared-session cache budget in bytes; least-recently-used sessions are evicted past it")
+		sessionSpill = flag.String("session-spill", "", "session spill directory; prepared sessions survive restarts via checksummed envelopes (empty = in-memory only)")
+
 		registryDir = flag.String("registry", "", "model registry directory; enables crash-safe generations with canary-gated promotion (empty = serve -models directly)")
 		shadowRate  = flag.Float64("shadow-rate", 0, "fraction of requests shadow-measured against the CSR baseline, 0..1 (0 disables the self-healing loop)")
 		shadowWork  = flag.Int("shadow-workers", 1, "shadow measurement worker goroutines")
@@ -98,6 +116,9 @@ func run() int {
 	// Feedback-loop flags are validated before any IO: a nonsensical rate or
 	// threshold is a usage error (exit 2) naming the flag, per RESILIENCE.md.
 	switch {
+	case *sessionBytes <= 0:
+		fmt.Fprintf(os.Stderr, "wise-serve: -session-bytes %d must be positive\n", *sessionBytes)
+		return exitUsage
 	case *shadowRate < 0 || *shadowRate > 1:
 		fmt.Fprintf(os.Stderr, "wise-serve: -shadow-rate %v out of range [0, 1]\n", *shadowRate)
 		return exitUsage
@@ -113,6 +134,13 @@ func run() int {
 	case *driftTrip <= 0 || *driftTrip > 1:
 		fmt.Fprintf(os.Stderr, "wise-serve: -drift-trip %v out of range (0, 1]\n", *driftTrip)
 		return exitUsage
+	}
+	if *sessionSpill != "" {
+		// Fail before binding the listener so a bad spill path names its flag.
+		if err := os.MkdirAll(*sessionSpill, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "wise-serve: creating -session-spill %s: %v\n", *sessionSpill, err)
+			return exitIO
+		}
 	}
 	finishObs := obsFlags.MustStart()
 	defer func() {
@@ -133,6 +161,8 @@ func run() int {
 		BreakerCooldown:  *brkCooldown,
 		ReloadPoll:       *reloadPoll,
 		DrainTimeout:     *drain,
+		SessionBytes:     *sessionBytes,
+		SessionSpillDir:  *sessionSpill,
 		RegistryDir:      *registryDir,
 		ShadowRate:       *shadowRate,
 		ShadowWorkers:    *shadowWork,

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"wise/internal/core"
 	"wise/internal/costmodel"
@@ -278,7 +280,7 @@ func (sr *suiteRun) perMatrixBenches(span *obs.Span, specs []MatrixSpec, matrice
 	defer srv.close()
 	// Helpers no-op once the run has failed or been cancelled, so the group
 	// loop can finish cleanly and every span ends.
-	for gi, group := range []string{"kernels", "convert", "features", "predict", "serve"} {
+	for gi, group := range []string{"kernels", "convert", "features", "predict", "serve", "session"} {
 		sp := span.Child(group)
 		for i, spec := range specs {
 			switch gi {
@@ -292,6 +294,8 @@ func (sr *suiteRun) perMatrixBenches(span *obs.Span, specs []MatrixSpec, matrice
 				sr.predictBench(spec, matrices[i], w)
 			case 4:
 				sr.serveBench(spec, matrices[i], srv)
+			case 5:
+				sr.sessionBench(spec, matrices[i], srv)
 			}
 		}
 		sp.End()
@@ -483,6 +487,96 @@ func (sr *suiteRun) serveBench(spec MatrixSpec, m *matrix.CSR, srv *benchServer)
 	if srv.tsShadow != nil {
 		sr.serveRoundTrip(fmt.Sprintf("serve/%s/roundtrip-shadow", spec.Name), srv.tsShadow, payload)
 	}
+}
+
+// sessionBench times the stateful execution endpoint cold vs warm on the
+// same matrix. Cold defeats the content-addressed cache by inserting a
+// fresh nonce comment into the MatrixMarket body every run, so each request
+// pays parse + feature extraction + prediction + format conversion; warm
+// uploads once via /matrix and executes by fingerprint, so each request is
+// pure kernel execution. The cold/warm gap in BENCH_*.json is the recorded
+// amortization win of prepared sessions (RESILIENCE.md "Stateful serving").
+func (sr *suiteRun) sessionBench(spec MatrixSpec, m *matrix.CSR, srv *benchServer) {
+	if sr.failed() || srv.ts == nil {
+		return
+	}
+	var body bytes.Buffer
+	if err := matrix.WriteMatrixMarket(&body, m); err != nil {
+		sr.failf("bench: serializing %s: %w", spec.Name, err)
+		return
+	}
+	mm := body.String()
+	nl := strings.IndexByte(mm, '\n')
+	if nl < 0 {
+		sr.failf("bench: session/%s: malformed MatrixMarket body", spec.Name)
+		return
+	}
+	head, rest := mm[:nl+1], mm[nl+1:]
+
+	nonce := 0
+	sr.sessionPost(fmt.Sprintf("session/%s/spmv-cold", spec.Name), srv, func() []byte {
+		nonce++ // unique body each run -> unique fingerprint -> full cold path
+		return sessionPayload("matrix", head+fmt.Sprintf("%% nonce %d\n", nonce)+rest)
+	})
+
+	resp, err := srv.ts.Client().Post(srv.ts.URL+"/matrix", "text/plain", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		sr.failf("bench: session/%s: upload: %w", spec.Name, err)
+		return
+	}
+	var stored struct {
+		Fingerprint string `json:"fingerprint"`
+		Stored      bool   `json:"stored"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stored)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil || resp.StatusCode != http.StatusOK || !stored.Stored {
+		sr.failf("bench: session/%s: upload: HTTP %d stored=%v err=%v", spec.Name, resp.StatusCode, stored.Stored, err)
+		return
+	}
+	warm := sessionPayload("fingerprint", stored.Fingerprint)
+	sr.sessionPost(fmt.Sprintf("session/%s/spmv-warm", spec.Name), srv, func() []byte { return warm })
+}
+
+// sessionPayload encodes a one-field /spmv request body.
+func sessionPayload(field, value string) []byte {
+	data, err := json.Marshal(map[string]string{field: value})
+	if err != nil {
+		panic(err) // a map[string]string cannot fail to encode
+	}
+	return data
+}
+
+// sessionPost measures POST /spmv round-trips; payload is re-evaluated per
+// run so the cold benchmark can vary the body.
+func (sr *suiteRun) sessionPost(name string, srv *benchServer, payload func() []byte) {
+	ctx := sr.ctx
+	client := srv.ts.Client()
+	url := srv.ts.URL + "/spmv"
+	sr.measure(name, "session", sr.opts, func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload()))
+		if err != nil {
+			sr.failf("bench: %s: %w", name, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			sr.failf("bench: %s: %w", name, err)
+			return
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			sr.failf("bench: %s: reading response: %w", name, err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			sr.failf("bench: %s: closing response: %w", name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			sr.failf("bench: %s: HTTP %d", name, resp.StatusCode)
+		}
+	})
 }
 
 // serveRoundTrip measures POST /predict round-trips against one server.

@@ -69,12 +69,20 @@ func (a *admission) release() {
 	inFlight.Set(float64(len(a.slots)))
 }
 
-// retryAfterSeconds is the Retry-After hint sent with 429 responses: the
-// queue wait rounded up to a whole second, minimum 1.
+// retryAfterSeconds is the Retry-After hint sent with 429 responses,
+// derived from live queue state rather than the static wait flag: a shed
+// request would line up behind every current waiter, each of which may hold
+// a slot wait of up to maxWait, so the hint scales with the observed depth
+// — ceil(maxWait * (waiters + 1)) seconds, clamped to [1, 60] so a deep
+// queue never tells clients to go away for minutes.
 func (a *admission) retryAfterSeconds() int {
-	s := int((a.maxWait + time.Second - 1) / time.Second)
+	est := a.maxWait * time.Duration(a.waiters.Load()+1)
+	s := int((est + time.Second - 1) / time.Second)
 	if s < 1 {
 		s = 1
+	}
+	if s > 60 {
+		s = 60
 	}
 	return s
 }

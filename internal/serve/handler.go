@@ -26,6 +26,8 @@ type predictResponse struct {
 	Rows           int     `json:"rows"`
 	Cols           int     `json:"cols"`
 	NNZ            int     `json:"nnz"`
+	Fingerprint    string  `json:"fingerprint,omitempty"` // session handle (stateful requests)
+	Cached         bool    `json:"cached,omitempty"`      // answered from a prepared session
 	ElapsedMS      float64 `json:"elapsed_ms"`
 }
 
@@ -76,6 +78,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	// A fingerprint (query param or header) answers warm from the session
+	// store: cached features re-predicted only on a model-generation change,
+	// no parse, no extraction (RESILIENCE.md "Stateful serving").
+	if fp := fingerprintOf(r); fp != "" {
+		s.answerPredictSession(w, fp, start)
+		return
+	}
+
 	m, err := matrix.ReadMatrixMarketLimited(
 		http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.Limits)
 	if err != nil {
@@ -102,6 +112,41 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.feedback.pool.offer(m, sel, lm)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// fingerprintOf extracts the session handle of a warm request: the fp query
+// parameter or the X-Wise-Fingerprint header.
+func fingerprintOf(r *http.Request) string {
+	if fp := r.URL.Query().Get("fp"); fp != "" {
+		return fp
+	}
+	return r.Header.Get("X-Wise-Fingerprint")
+}
+
+// answerPredictSession serves /predict from a prepared session. An unknown
+// fingerprint is 404 — the client uploads via /matrix first.
+func (s *Server) answerPredictSession(w http.ResponseWriter, fp string, start time.Time) {
+	ent, ok := s.sessions.Acquire(fp)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("serve: unknown fingerprint %s; upload via POST /matrix first", fp)})
+		return
+	}
+	defer s.sessions.Release(ent)
+	lm := s.models.current()
+	sel := s.sessions.Refresh(ent, lm.genID, lm.w.SelectFromFeatures)
+	m := ent.Matrix()
+	writeJSON(w, http.StatusOK, predictResponse{
+		Method:         sel.Method.String(),
+		Index:          sel.Index,
+		PredictedClass: sel.PredictedClass,
+		Classes:        sel.Classes,
+		Rows:           m.Rows,
+		Cols:           m.Cols,
+		NNZ:            m.NNZ(),
+		Fingerprint:    fp,
+		Cached:         true,
+		ElapsedMS:      float64(time.Since(start)) / float64(time.Millisecond),
+	})
 }
 
 // selectMethod is the degradation ladder around the predictor. The breaker

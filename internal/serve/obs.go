@@ -12,6 +12,17 @@ var (
 	requestsPanicked = obs.NewCounter("serve.requests_panicked")
 	requestsRejected = obs.NewCounter("serve.requests_rejected")
 
+	// Stateful serving (internal/session, RESILIENCE.md "Stateful serving").
+	requestsMatrix   = obs.NewCounter("serve.requests_matrix")
+	requestsSpMV     = obs.NewCounter("serve.requests_spmv")
+	spmvWarm         = obs.NewCounter("serve.spmv_warm")
+	spmvCold         = obs.NewCounter("serve.spmv_cold")
+	sessionsDegraded = obs.NewCounter("serve.sessions_degraded")
+
+	// Sessions still pinned by in-flight executions at the SIGTERM instant,
+	// recorded by the drain path for the final metrics snapshot.
+	drainPinnedSessions = obs.NewGauge("serve.drain_pinned_sessions")
+
 	breakerTrips = obs.NewCounter("serve.breaker_trips")
 	breakerGauge = obs.NewGauge("serve.breaker_state")
 

@@ -19,7 +19,16 @@
 //   - the model hot-reloads on SIGHUP or mtime change with validation and
 //     rollback (reload.go);
 //   - shutdown drains: stop accepting, finish in-flight within the drain
-//     budget, then exit (the CLI maps this to status 130).
+//     budget, then exit (the CLI maps this to status 130), recording how
+//     many sessions were still pinned at the signal.
+//
+// On top of the stateless path sits the stateful session layer
+// (internal/session, RESILIENCE.md "Stateful serving"): POST /matrix
+// ingests a MatrixMarket body once and returns its sha256 fingerprint;
+// POST /predict and POST /spmv then accept either an inline body or a
+// fingerprint, reusing the cached parse + features + prediction +
+// converted kernel. A saturated session store degrades those requests to
+// the stateless path ("degraded": true) rather than refusing them.
 //
 // /healthz, /readyz, and /metricz expose liveness, readiness, and an obs
 // snapshot to orchestration.
@@ -40,6 +49,7 @@ import (
 	"wise/internal/matrix"
 	"wise/internal/obs"
 	"wise/internal/registry"
+	"wise/internal/session"
 )
 
 // Config tunes the server. The zero value of any field falls back to the
@@ -61,6 +71,14 @@ type Config struct {
 
 	ReloadPoll   time.Duration // model-file mtime poll; default 2s; < 0 disables polling
 	DrainTimeout time.Duration // shutdown budget for in-flight requests; default 5s
+
+	// Stateful serving (RESILIENCE.md "Stateful serving"): POST /matrix
+	// prepares a session once, POST /predict and POST /spmv reuse it by
+	// fingerprint. SessionBytes is the byte budget of the prepared-matrix
+	// LRU (default 256 MiB); SessionSpillDir, when set, spills prepared
+	// sessions to disk in checksummed envelopes so a restart rehydrates them.
+	SessionBytes    int64
+	SessionSpillDir string
 
 	// Self-healing loop (RESILIENCE.md "Self-healing serving"). RegistryDir
 	// switches the model source from the single -models file to a crash-safe
@@ -122,6 +140,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.SessionBytes <= 0 {
+		c.SessionBytes = 256 << 20
+	}
 	if c.ShadowRate > 1 {
 		c.ShadowRate = 1
 	}
@@ -179,6 +200,7 @@ type Server struct {
 	breaker  *breaker
 	reg      *registry.Registry // nil when serving a plain model file
 	feedback *feedback          // nil when ShadowRate is 0
+	sessions *session.Store
 	ready    atomic.Bool
 	mux      *http.ServeMux
 }
@@ -218,18 +240,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	sessions, err := session.Open(session.Config{
+		MaxBytes: cfg.SessionBytes,
+		SpillDir: cfg.SessionSpillDir,
+		RowBlock: models.current().w.Mach.RowBlock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening session store: %w", err)
+	}
 	s := &Server{
-		cfg:     cfg,
-		models:  models,
-		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		reg:     reg,
+		cfg:      cfg,
+		models:   models,
+		admit:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		reg:      reg,
+		sessions: sessions,
 	}
 	if cfg.ShadowRate > 0 {
 		s.feedback = newFeedback(cfg, reg, models)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /predict", s.handlePredict)
+	s.mux.HandleFunc("POST /matrix", s.handleMatrix)
+	s.mux.HandleFunc("POST /spmv", s.handleSpMV)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
@@ -249,6 +282,9 @@ func (s *Server) GenerationID() string { return s.models.current().genID }
 // Registry returns the backing model registry, or nil for a file-backed
 // server.
 func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Sessions returns the prepared-matrix session store.
+func (s *Server) Sessions() *session.Store { return s.sessions }
 
 // RunFeedback runs the self-healing loop (shadow workers + drift/retrain
 // controller) until ctx cancels, joining all goroutines before returning.
@@ -310,6 +346,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		err = fmt.Errorf("serve: listener failed: %w", e)
 	case <-ctx.Done():
 		s.ready.Store(false)
+		// Record how many sessions in-flight executions still pin at the
+		// SIGTERM instant, so the final metrics snapshot covers stateful
+		// work alongside the in-flight request drain.
+		pinned := s.sessions.PinnedCount()
+		drainPinnedSessions.Set(float64(pinned))
+		if pinned > 0 {
+			obs.Verbosef("serve: draining with %d pinned sessions", pinned)
+		}
 		// The drain deadline must outlive the cancelled serve ctx, but keep
 		// its values (WithoutCancel) so the lint contract sees the chain.
 		drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.DrainTimeout)

@@ -1,0 +1,233 @@
+package session
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wise/internal/core"
+	"wise/internal/features"
+	"wise/internal/kernels"
+	"wise/internal/matrix"
+	"wise/internal/resilience"
+	"wise/internal/resilience/faultinject"
+)
+
+// Spill format: one file per session, <fingerprint>.sess in SpillDir,
+// wrapped in a resilience checksummed envelope so truncation and bit flips
+// fail loudly at rehydration. The payload is a uvarint-length-prefixed JSON
+// meta block (identity, dims, selection, features) followed by the raw CSR
+// arrays little-endian — RowPtr as int64, ColIdx as int32, Vals as float64
+// bits. The converted kernel format is not spilled; it is deterministic in
+// (matrix, method) and rebuilt lazily on the first post-restart execution.
+const (
+	spillKind    = "wise-session"
+	spillVersion = 1
+	spillSuffix  = ".sess"
+)
+
+type spillMeta struct {
+	Fingerprint string    `json:"fingerprint"`
+	Rows        int       `json:"rows"`
+	Cols        int       `json:"cols"`
+	NNZ         int       `json:"nnz"`
+	GenID       string    `json:"gen_id"`
+	Selection   spillSel  `json:"selection"`
+	FeatNames   []string  `json:"feature_names"`
+	FeatValues  []float64 `json:"feature_values"`
+}
+
+type spillSel struct {
+	Method         kernels.Method `json:"method"`
+	Index          int            `json:"index"`
+	PredictedClass int            `json:"predicted_class"`
+	Classes        []int          `json:"classes"`
+}
+
+func (s *Store) spillPath(fp string) string {
+	return filepath.Join(s.spillDir, fp+spillSuffix)
+}
+
+// spill writes one prepared session to the spill dir. Failures are narrated
+// and counted, never returned — spill is an availability optimization, not
+// a durability contract. The session.spill.corrupt site covers both halves
+// of the crash window: armed as a panic it kills the write before the
+// atomic commit (restart finds no file and rebuilds cleanly); armed as an
+// error it flips a sealed byte so the committed file fails its checksum
+// (restart quarantines and rebuilds).
+func (s *Store) spill(e *Entry, p *Prepared) {
+	sealed := resilience.Seal(spillKind, spillVersion, encodeSpill(e.fp, p))
+	if err := faultinject.Hit("session.spill.corrupt"); err != nil {
+		sealed[len(sealed)-1] ^= 0xFF
+	}
+	if err := resilience.AtomicWriteFile(s.spillPath(e.fp), sealed, 0o644); err != nil {
+		sessionSpillFailures.Inc()
+		obsVerbosef("session: spilling %s: %v", shortFP(e.fp), err)
+		return
+	}
+	s.mu.Lock()
+	s.stats.Spills++
+	s.mu.Unlock()
+	sessionSpills.Inc()
+}
+
+func encodeSpill(fp string, p *Prepared) []byte {
+	meta, err := json.Marshal(spillMeta{
+		Fingerprint: fp,
+		Rows:        p.M.Rows,
+		Cols:        p.M.Cols,
+		NNZ:         p.M.NNZ(),
+		GenID:       p.GenID,
+		Selection: spillSel{
+			Method:         p.Sel.Method,
+			Index:          p.Sel.Index,
+			PredictedClass: p.Sel.PredictedClass,
+			Classes:        p.Sel.Classes,
+		},
+		FeatNames:  p.Feat.Names,
+		FeatValues: p.Feat.Values,
+	})
+	if err != nil {
+		// spillMeta is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("session: encoding spill meta: %v", err))
+	}
+	nnz := p.M.NNZ()
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(meta)+8*(p.M.Rows+1)+4*nnz+8*nnz)
+	buf = binary.AppendUvarint(buf, uint64(len(meta)))
+	buf = append(buf, meta...)
+	for _, v := range p.M.RowPtr {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	for _, v := range p.M.ColIdx {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range p.M.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(v))
+	}
+	return buf
+}
+
+func decodeSpill(fp string, payload []byte) (*Prepared, error) {
+	metaLen, n := binary.Uvarint(payload)
+	if n <= 0 || metaLen > uint64(len(payload)-n) {
+		return nil, fmt.Errorf("session: spill payload truncated in meta header")
+	}
+	var meta spillMeta
+	if err := json.Unmarshal(payload[n:n+int(metaLen)], &meta); err != nil {
+		return nil, fmt.Errorf("session: decoding spill meta: %w", err)
+	}
+	if meta.Fingerprint != fp {
+		return nil, fmt.Errorf("session: spill file names %s but records %s", shortFP(fp), shortFP(meta.Fingerprint))
+	}
+	if meta.Rows < 0 || meta.Cols < 0 || meta.NNZ < 0 {
+		return nil, fmt.Errorf("session: spill meta has negative dimensions")
+	}
+	body := payload[n+int(metaLen):]
+	want := 8*(meta.Rows+1) + 4*meta.NNZ + 8*meta.NNZ
+	if len(body) != want {
+		return nil, fmt.Errorf("session: spill arrays are %d bytes, meta declares %d", len(body), want)
+	}
+	m := &matrix.CSR{
+		Rows:   meta.Rows,
+		Cols:   meta.Cols,
+		RowPtr: make([]int64, meta.Rows+1),
+		ColIdx: make([]int32, meta.NNZ),
+		Vals:   make([]float64, meta.NNZ),
+	}
+	off := 0
+	for i := range m.RowPtr {
+		m.RowPtr[i] = int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	for i := range m.ColIdx {
+		m.ColIdx[i] = int32(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+	}
+	for i := range m.Vals {
+		m.Vals[i] = floatFromBits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("session: rehydrated matrix invalid: %w", err)
+	}
+	if len(meta.FeatNames) != len(meta.FeatValues) {
+		return nil, fmt.Errorf("session: spill features misaligned: %d names, %d values", len(meta.FeatNames), len(meta.FeatValues))
+	}
+	return &Prepared{
+		M:    m,
+		Feat: features.Features{Names: meta.FeatNames, Values: meta.FeatValues},
+		Sel: core.Selection{
+			Method:         meta.Selection.Method,
+			Index:          meta.Selection.Index,
+			PredictedClass: meta.Selection.PredictedClass,
+			Classes:        meta.Selection.Classes,
+		},
+		GenID: meta.GenID,
+	}, nil
+}
+
+// rehydrate loads every valid spilled session at Open. A spill file that
+// fails its envelope checksum or structural validation is quarantined —
+// renamed aside, counted, narrated — and the session is simply absent, to
+// be rebuilt on its next upload. Rehydration failure is never fatal: a
+// damaged spill dir costs warm starts, not availability.
+func (s *Store) rehydrate() error {
+	dirents, err := os.ReadDir(s.spillDir)
+	if err != nil {
+		return fmt.Errorf("session: reading spill dir: %w", err)
+	}
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, spillSuffix) {
+			continue
+		}
+		fp := strings.TrimSuffix(name, spillSuffix)
+		path := filepath.Join(s.spillDir, name)
+		env, _, err := resilience.ReadArtifact(path, spillKind)
+		var p *Prepared
+		if err == nil {
+			p, err = decodeSpill(fp, env.Payload)
+		}
+		if err != nil {
+			s.quarantine(path, err)
+			continue
+		}
+		s.mu.Lock()
+		_, err = s.insertLocked(fp, p, 0)
+		if err == nil {
+			s.stats.Recoveries++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			// Does not fit the byte budget even after evicting everything
+			// already rehydrated; drop the file so disk stays bounded too.
+			obsVerbosef("session: dropping spilled %s: %v", shortFP(fp), err)
+			if rmErr := os.Remove(path); rmErr != nil {
+				obsVerbosef("session: removing oversized spill %s: %v", shortFP(fp), rmErr)
+			}
+			continue
+		}
+		sessionRecoveries.Inc()
+	}
+	return nil
+}
+
+// quarantine moves a corrupt spill file aside so it is preserved for
+// inspection but never re-read, and the session rebuilds from scratch.
+func (s *Store) quarantine(path string, cause error) {
+	obsVerbosef("session: quarantining corrupt spill %s: %v", filepath.Base(path), cause)
+	if err := os.Rename(path, path+".quarantined"); err != nil {
+		obsVerbosef("session: quarantining %s: %v", filepath.Base(path), err)
+	}
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.mu.Unlock()
+	sessionQuarantined.Inc()
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
